@@ -1,0 +1,11 @@
+"""Ablation - SMSG vs MSGQ transport.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_ablation_msgq(benchmark):
+    run_and_check(benchmark, "ablation_msgq")

@@ -1,0 +1,11 @@
+"""Ablation - adaptive vs dimension-ordered routing.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_ablation_routing(benchmark):
+    run_and_check(benchmark, "ablation_routing")

@@ -1,0 +1,11 @@
+"""Fig. 1 - ping-pong latency across software layers (uGNI / MPI / MPI-based Charm++).
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig1(benchmark):
+    run_and_check(benchmark, "fig1")

@@ -1,0 +1,11 @@
+"""Fig. 4 - FMA vs BTE PUT/GET latency and the hardware crossover.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig4(benchmark):
+    run_and_check(benchmark, "fig4")

@@ -1,0 +1,11 @@
+"""Fig. 6 - the pre-optimization uGNI machine layer vs MPI-based Charm++.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig6(benchmark):
+    run_and_check(benchmark, "fig6")

@@ -1,0 +1,11 @@
+"""Fig. 8(a) - persistent-message latency.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig8a(benchmark):
+    run_and_check(benchmark, "fig8a")

@@ -1,0 +1,11 @@
+"""Fig. 8(b) - memory-pool latency.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig8b(benchmark):
+    run_and_check(benchmark, "fig8b")

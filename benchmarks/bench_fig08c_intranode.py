@@ -1,0 +1,11 @@
+"""Fig. 8(c) - intra-node pxshm single/double copy vs MPI.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig8c(benchmark):
+    run_and_check(benchmark, "fig8c")

@@ -1,0 +1,11 @@
+"""Fig. 9(a) - five-way one-way latency comparison.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig9a(benchmark):
+    run_and_check(benchmark, "fig9a")

@@ -1,0 +1,11 @@
+"""Fig. 9(b) - ping-pong bandwidth.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig9b(benchmark):
+    run_and_check(benchmark, "fig9b")

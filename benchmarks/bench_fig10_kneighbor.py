@@ -1,0 +1,11 @@
+"""Fig. 10 - kNeighbor iteration latency.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig10(benchmark):
+    run_and_check(benchmark, "fig10")

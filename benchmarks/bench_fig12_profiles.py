@@ -1,0 +1,11 @@
+"""Fig. 12 - N-Queens utilization time profiles.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig12(benchmark):
+    run_and_check(benchmark, "fig12")

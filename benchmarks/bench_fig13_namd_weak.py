@@ -1,0 +1,11 @@
+"""Fig. 13 - NAMD weak scaling (IAPP/DHFR/ApoA1).
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig13(benchmark):
+    run_and_check(benchmark, "fig13")

@@ -1,0 +1,11 @@
+"""Table I - best (cores, time) per N-Queens board.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_table1(benchmark):
+    run_and_check(benchmark, "table1")

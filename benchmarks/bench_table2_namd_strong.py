@@ -1,0 +1,11 @@
+"""Table II - ApoA1 strong scaling ms/step.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_table2(benchmark):
+    run_and_check(benchmark, "table2")

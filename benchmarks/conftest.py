@@ -1,0 +1,50 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures.
+Running::
+
+    pytest benchmarks/ --benchmark-only
+
+executes every experiment under pytest-benchmark (wall time of the whole
+simulated experiment is what gets benchmarked), prints the regenerated
+rows/series plus the paper-shape claim checklist, asserts that every claim
+holds, and writes the rendered output to ``benchmarks/results/<id>.txt``.
+
+Set ``REPRO_PAPER_SCALE=1`` for the full published sweeps (minutes).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.figures import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_check(benchmark, exp_id: str) -> None:
+    """Run one experiment under the benchmark fixture and verify claims."""
+    result = benchmark.pedantic(run_experiment, args=(exp_id,),
+                                rounds=1, iterations=1)
+    rendered = result.render()
+    print()
+    print(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(rendered)
+    failed = result.failed_claims()
+    assert not failed, (
+        f"{exp_id}: paper-shape claims failed:\n"
+        + "\n".join(f"  - {c.text} ({c.detail})" for c in failed)
+    )
+
+
+@pytest.fixture
+def paper_exhibit(benchmark):
+    """Factory fixture: ``paper_exhibit('fig9a')``."""
+
+    def _run(exp_id: str) -> None:
+        run_and_check(benchmark, exp_id)
+
+    return _run

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate the paper's headline microbenchmark (Fig. 9a) from the CLI.
+
+Sweeps message sizes over five configurations — pure uGNI, uGNI-based
+Charm++, MPI with re-used buffers, MPI with fresh buffers, MPI-based
+Charm++ — and prints the latency table plus the checked paper claims.
+
+This is the same code path as ``pytest benchmarks/ --benchmark-only``;
+any experiment id from repro.bench.figures.EXPERIMENTS can be passed:
+
+Run:  python examples/latency_sweep.py [experiment-id ...]
+      python examples/latency_sweep.py fig9a fig10 table2
+"""
+
+import sys
+
+from repro.bench.figures import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    ids = sys.argv[1:] or ["fig9a"]
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; available: "
+                  f"{', '.join(sorted(EXPERIMENTS))}")
+            raise SystemExit(2)
+        result = run_experiment(exp_id)
+        print(result.render())
+        if not result.all_claims_hold:
+            raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

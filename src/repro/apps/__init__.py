@@ -1,0 +1,13 @@
+"""The paper's evaluation applications.
+
+* :mod:`repro.apps.pingpong` — Charm-level ping-pong (Figs. 1, 6, 8, 9a/b).
+* :mod:`repro.apps.raw` — benchmarks written directly on uGNI / MPI (the
+  "pure uGNI" and "pure MPI" reference curves, plus the Fig. 4 FMA/BTE
+  sweep).
+* :mod:`repro.apps.onetoall` — the one-to-all benchmark (Fig. 9c).
+* :mod:`repro.apps.kneighbor` — the kNeighbor benchmark (Fig. 10).
+* :mod:`repro.apps.nqueens` — ParSSSE-style task-parallel N-Queens
+  (Fig. 11/12, Table I).
+* :mod:`repro.apps.minimd` — the NAMD-like molecular-dynamics mini-app
+  (Table II, Fig. 13).
+"""

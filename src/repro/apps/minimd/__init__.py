@@ -1,0 +1,31 @@
+"""mini-NAMD: a NAMD-like molecular-dynamics mini-app (Table II, Fig. 13).
+
+NAMD's parallel structure, reproduced at the level the paper's experiments
+exercise:
+
+* **spatial decomposition** into patches (cutoff-sized cells) that
+  multicast atom positions each step (message sizes in the paper's
+  1–16 KB range);
+* **migratable compute objects** — one per patch pair (plus self
+  computes), split further when there are more cores than pairs, exactly
+  NAMD's compute-splitting;
+* **PME every step** (the paper's hard case): a slab-decomposed 3D-FFT
+  stand-in with two all-to-all transpose phases among slabs;
+* **measurement-based load balancing**: a central greedy plan computed
+  from per-object measured loads, applied via element migration.
+
+Work is charged from a per-system compute budget calibrated against the
+paper's own 2-core ApoA1 step time (987 ms/step, Table II), split between
+nonbonded pair work, PME FFT work, and integration.
+
+:mod:`repro.apps.minimd.reference` is an actual (numpy) MD integrator used
+by the examples and correctness tests — the simulated app charges time,
+the reference app computes real trajectories.
+"""
+
+from repro.apps.minimd.app import MiniMDResult, run_minimd
+from repro.apps.minimd.system import (APOA1, DHFR, IAPP, SYSTEMS,
+                                      Decomposition, MDSystem)
+
+__all__ = ["run_minimd", "MiniMDResult", "MDSystem", "Decomposition",
+           "APOA1", "DHFR", "IAPP", "SYSTEMS"]

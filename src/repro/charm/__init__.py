@@ -1,0 +1,30 @@
+"""Charm++-style programming model on Converse.
+
+The user-facing layer: chare arrays and groups with asynchronous entry
+methods, reductions, and migration — enough of Charm++ to express the
+paper's applications (ping-pong, kNeighbor, N-Queens task trees, the
+NAMD-like mini-MD) while running unchanged over either machine layer.
+
+Minimal example::
+
+    from repro.charm import Chare, Charm
+    from repro.lrts.factory import make_runtime
+
+    class Hello(Chare):
+        def greet(self, sender):
+            self.charge(1e-6)                      # 1 us of app work
+            if self.thisIndex < self.charm.n_pes - 1:
+                self.thisProxy[self.thisIndex + 1].greet(self.thisIndex)
+
+    conv, _ = make_runtime(n_pes=8)
+    charm = Charm(conv)
+    hello = charm.create_array(Hello, 8)
+    charm.start(lambda pe: hello[0].greet(-1))
+    charm.run()
+"""
+
+from repro.charm.chare import Chare
+from repro.charm.runtime import Charm
+from repro.charm.reduction import REDUCERS
+
+__all__ = ["Charm", "Chare", "REDUCERS"]

@@ -1,0 +1,135 @@
+"""Chare base class and proxies."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import CharmError
+
+
+def estimate_size(args: tuple, kwargs: dict) -> int:
+    """Wire-size estimate for marshalled entry-method arguments.
+
+    Benchmarks that must control message size exactly pass ``_size=``;
+    everything else gets a structural estimate (the real runtime's PUP
+    sizing, approximated).
+    """
+
+    def sz(v: Any) -> int:
+        if v is None or isinstance(v, bool):
+            return 1
+        if isinstance(v, (int, float, complex)):
+            return 8
+        if isinstance(v, str):
+            return len(v)
+        if isinstance(v, (bytes, bytearray)):
+            return len(v)
+        if isinstance(v, np.ndarray):
+            return int(v.nbytes)
+        if isinstance(v, (list, tuple, set)):
+            return 16 + sum(sz(x) for x in v)
+        if isinstance(v, dict):
+            return 16 + sum(sz(k) + sz(x) for k, x in v.items())
+        return 64
+
+    return 16 + sz(list(args)) + sz(kwargs)
+
+
+class Chare:
+    """Base class for array/group elements.
+
+    Set by the runtime before any entry method runs:
+
+    * ``self.charm`` — the :class:`~repro.charm.runtime.Charm` instance;
+    * ``self.thisIndex`` — this element's index;
+    * ``self.thisProxy`` — proxy to the whole collection;
+    * ``self.pe`` — the hosting :class:`~repro.converse.scheduler.PE`
+      (changes on migration).
+    """
+
+    charm = None
+    thisIndex: Any = None
+    thisProxy: "ArrayProxy" = None
+    pe = None
+    #: collection id, set at insertion
+    _aid: int = -1
+
+    # -- conveniences available inside entry methods --------------------------
+    def charge(self, seconds: float) -> None:
+        """Account ``seconds`` of application computation."""
+        self.pe.charge(seconds, "useful")
+
+    def now(self) -> float:
+        """Current simulated time on this PE."""
+        return self.pe.vtime
+
+    @property
+    def my_pe(self) -> int:
+        return self.pe.rank
+
+    def contribute(self, value: Any, op: str, target) -> None:
+        """Contribute to the collection-wide reduction (see paper's NAMD
+        load/energy reductions).  ``target`` is a bound proxy method, e.g.
+        ``self.thisProxy[0].report``."""
+        self.charm._contribute(self, value, op, target)
+
+    def migrate_to(self, new_pe: int, state_bytes: int = 1024) -> None:
+        """Move this element to another PE (measurement-based LB uses this)."""
+        self.charm._migrate(self, new_pe, state_bytes)
+
+
+class BoundMethod:
+    """``proxy[i].method`` — calling it sends an async invocation."""
+
+    __slots__ = ("proxy", "index", "name")
+
+    def __init__(self, proxy: "ArrayProxy", index: Any, name: str):
+        self.proxy = proxy
+        self.index = index
+        self.name = name
+
+    def __call__(self, *args: Any, _size: Optional[int] = None,
+                 _prio: Optional[int] = None, **kwargs: Any) -> None:
+        self.proxy.charm._invoke(self.proxy.aid, self.index, self.name,
+                                 args, kwargs, _size, _prio)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BoundMethod {self.proxy}[{self.index}].{self.name}>"
+
+
+class ElementRef:
+    """``proxy[i]`` — reference to one element."""
+
+    __slots__ = ("proxy", "index")
+
+    def __init__(self, proxy: "ArrayProxy", index: Any):
+        self.proxy = proxy
+        self.index = index
+
+    def __getattr__(self, name: str) -> BoundMethod:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return BoundMethod(self.proxy, self.index, name)
+
+
+class ArrayProxy:
+    """Proxy to a chare collection; indexing yields element refs and
+    attribute access on the proxy itself is a broadcast."""
+
+    def __init__(self, charm, aid: int, name: str):
+        self.charm = charm
+        self.aid = aid
+        self.name = name
+
+    def __getitem__(self, index: Any) -> ElementRef:
+        return ElementRef(self, index)
+
+    def __getattr__(self, name: str) -> BoundMethod:
+        if name.startswith("_") or name in ("charm", "aid", "name"):
+            raise AttributeError(name)
+        return BoundMethod(self, None, name)  # index None = broadcast
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ArrayProxy {self.name}>"

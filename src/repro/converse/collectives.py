@@ -1,0 +1,62 @@
+"""Spanning-tree machinery shared by broadcasts, reductions, and QD.
+
+Converse implements collectives once, over whatever machine layer is
+attached (paper §III.B: "Different machine-specific LRTS implementations
+can share common implementations such as collective operations").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class SpanningTree:
+    """A k-ary spanning tree over PE ranks rooted at 0.
+
+    Charm++ uses a branching factor of 4 on most machines; the tree is
+    defined arithmetically so no per-node state is needed.
+    """
+
+    def __init__(self, n_pes: int, branching: int = 4, root: int = 0):
+        if n_pes < 1:
+            raise ValueError(f"need at least one PE, got {n_pes}")
+        if branching < 2:
+            raise ValueError(f"branching must be >= 2, got {branching}")
+        self.n_pes = n_pes
+        self.branching = branching
+        self.root = root
+
+    def _rel(self, pe: int) -> int:
+        return (pe - self.root) % self.n_pes
+
+    def _abs(self, rel: int) -> int:
+        return (rel + self.root) % self.n_pes
+
+    def parent(self, pe: int) -> int | None:
+        rel = self._rel(pe)
+        if rel == 0:
+            return None
+        return self._abs((rel - 1) // self.branching)
+
+    def children(self, pe: int) -> Iterator[int]:
+        rel = self._rel(pe)
+        first = rel * self.branching + 1
+        for c in range(first, min(first + self.branching, self.n_pes)):
+            yield self._abs(c)
+
+    def subtree_size(self, pe: int) -> int:
+        """Number of PEs in the subtree rooted at ``pe`` (incl. itself)."""
+        count = 1
+        for c in self.children(pe):
+            count += self.subtree_size(c)
+        return count
+
+    def depth(self) -> int:
+        """Tree height (max hops root -> leaf)."""
+        d, span = 0, 1
+        covered = 1
+        while covered < self.n_pes:
+            span *= self.branching
+            covered += span
+            d += 1
+        return d

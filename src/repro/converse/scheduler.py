@@ -1,0 +1,304 @@
+"""The per-PE message-driven scheduler (CsdScheduler) and runtime core.
+
+Execution model
+---------------
+
+Each PE executes messages strictly sequentially.  A handler is a Python
+function that runs *logically* over a span of simulated time: when it
+starts, the PE's virtual clock (:attr:`PE.vtime`) equals the engine time;
+every cost the handler incurs — application work via :meth:`PE.charge`,
+runtime costs charged by the layers — advances ``vtime``; anything the
+handler hands to the hardware is released at the then-current ``vtime`` via
+:meth:`PE.call_at_vtime`, so causality holds without slicing handlers into
+callbacks.
+
+Accounting
+----------
+
+``charge(dt, kind)`` attributes time to ``"useful"`` (application work) or
+``"overhead"`` (runtime/communication processing); gaps between executions
+are idle.  This is the exact three-way split of the paper's Projections
+profiles (Fig. 12: white = idle, black = overhead, colored = useful).  An
+optional tracer receives every interval for time-binned rendering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import CharmError, SimulationError
+from repro.hardware.machine import Machine
+
+
+@dataclass
+class Message:
+    """A Converse message: envelope + payload.
+
+    ``nbytes`` is the simulated wire size; ``payload`` is the Python value
+    the handler receives.  The envelope fields mirror the real Converse
+    header (handler index, source PE).
+    """
+
+    handler: int
+    src_pe: int
+    dst_pe: int
+    nbytes: int
+    payload: Any = None
+    #: scheduler priority; lower runs first, None = FIFO lane
+    prio: Optional[int] = None
+    #: simulated time the message was handed to LrtsSyncSend
+    sent_at: float = 0.0
+
+
+class PE:
+    """One processing element: a core running the Converse scheduler."""
+
+    def __init__(self, runtime: "ConverseRuntime", rank: int):
+        self.runtime = runtime
+        self.engine = runtime.engine
+        self.rank = rank
+        self.node = runtime.machine.node_of_pe(rank)
+        # execution state
+        self._fifo: deque = deque()
+        self._prioq: list = []
+        self._prio_seq = 0
+        self._running = False  # a handler is executing right now
+        self._scheduled = False  # a _run_next is on the event heap
+        self._blocked = False  # stuck in a blocking call (MPI_Recv)
+        self.busy_until = 0.0
+        self.vtime = 0.0
+        # accounting
+        self.useful_time = 0.0
+        self.overhead_time = 0.0
+        self.idle_since = 0.0
+        self.idle_time = 0.0
+        self.messages_executed = 0
+        #: per-PE scratch for machine layers / applications
+        self.ctx: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Time accounting
+    # ------------------------------------------------------------------ #
+    def charge(self, dt: float, kind: str = "useful") -> None:
+        """Advance this PE's virtual clock by ``dt`` seconds of ``kind``.
+
+        Must be called from within a handler executing on this PE (or at
+        init time before the scheduler starts).
+        """
+        if dt < 0:
+            raise SimulationError(f"negative charge {dt}")
+        if dt == 0.0:
+            return
+        start = self.vtime
+        self.vtime += dt
+        if kind == "useful":
+            self.useful_time += dt
+        else:
+            self.overhead_time += dt
+        tracer = self.runtime.tracer
+        if tracer is not None:
+            tracer.record(self.rank, start, dt, kind)
+
+    def call_at_vtime(self, fn: Callable, *args: Any) -> None:
+        """Run ``fn`` when real simulated time reaches this PE's vtime.
+
+        Machine layers use this to hand work to the hardware at the moment
+        the executing handler logically reaches that point.
+        """
+        self.engine.call_at(self.vtime, fn, *args)
+
+    @property
+    def now(self) -> float:
+        """The PE-local notion of current time (vtime while executing)."""
+        return self.vtime if self._running else max(self.engine.now, self.busy_until)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def enqueue(self, msg: Message, recv_cpu: float = 0.0) -> None:
+        """Put a ready message on this PE's scheduler queue (now).
+
+        ``recv_cpu`` is network-layer receive processing (CQ poll, copy
+        out, matching) charged as overhead when the message is picked up.
+        """
+        if msg.prio is None:
+            self._fifo.append((msg, recv_cpu))
+        else:
+            heapq.heappush(self._prioq, (msg.prio, self._prio_seq, msg, recv_cpu))
+            self._prio_seq += 1
+        self._kick()
+
+    def deliver_at(self, time: float, msg: Message, recv_cpu: float = 0.0) -> None:
+        """Schedule :meth:`enqueue` at an absolute simulated time."""
+        self.engine.call_at(time, self.enqueue, msg, recv_cpu)
+
+    # -- blocking calls (the MPI machine layer's MPI_Recv) -----------------------
+    def begin_blocking(self) -> None:
+        """Mark this PE blocked; no further messages run until unblocked.
+
+        Called from inside a handler that ends in a blocking call (the
+        MPI-based layer's large-message ``MPI_Recv``).  The paper: "once a
+        MPI_IProbe returns true, the progress engine calls blocking
+        MPI_Recv [...] which prevents the progress engine from doing any
+        other work" (§V.B).
+        """
+        self._blocked = True
+
+    def end_blocking(self, t: float, kind: str = "overhead") -> None:
+        """Unblock at simulated time ``t``; the wait is charged as ``kind``."""
+        if not self._blocked:
+            raise SimulationError(f"PE {self.rank} was not blocked")
+        self._blocked = False
+        self.vtime = self.busy_until
+        self.charge(max(0.0, t - self.busy_until), kind)
+        self.busy_until = self.vtime
+        self.idle_since = self.vtime
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._running or self._scheduled or self._blocked:
+            return
+        if not self._fifo and not self._prioq:
+            return
+        self._scheduled = True
+        self.engine.call_at(max(self.engine.now, self.busy_until), self._run_next)
+
+    def _pop(self) -> tuple[Message, float]:
+        if self._prioq:
+            _, _, msg, recv_cpu = heapq.heappop(self._prioq)
+            return msg, recv_cpu
+        msg, recv_cpu = self._fifo.popleft()
+        return msg, recv_cpu
+
+    def _run_next(self) -> None:
+        self._scheduled = False
+        if self._running:  # pragma: no cover - defensive
+            return
+        if not self._fifo and not self._prioq:
+            return
+        msg, recv_cpu = self._pop()
+        t = self.engine.now
+        if t > self.idle_since:
+            self.idle_time += t - self.idle_since
+            if self.runtime.tracer is not None:
+                self.runtime.tracer.record(self.rank, self.idle_since,
+                                           t - self.idle_since, "idle")
+        self._running = True
+        self.vtime = t
+        # network receive processing + scheduler dispatch are overhead
+        self.charge(recv_cpu + self.runtime.config.sched_dispatch_cpu, "overhead")
+        handler = self.runtime.handler_fn(msg.handler)
+        try:
+            handler(self, msg)
+        finally:
+            self._running = False
+            self.busy_until = self.vtime
+            self.idle_since = self.vtime
+            self.messages_executed += 1
+            self._kick()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_length(self) -> int:
+        return len(self._fifo) + len(self._prioq)
+
+    def utilization(self, horizon: Optional[float] = None) -> dict[str, float]:
+        """Fractions of time spent useful / overhead / idle up to horizon."""
+        total = horizon if horizon is not None else self.engine.now
+        if total <= 0:
+            return {"useful": 0.0, "overhead": 0.0, "idle": 1.0}
+        idle = self.idle_time + max(0.0, total - max(self.idle_since, self.busy_until))
+        return {
+            "useful": self.useful_time / total,
+            "overhead": self.overhead_time / total,
+            "idle": min(1.0, idle / total),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PE {self.rank} q={self.queue_length} busy_until={self.busy_until:.9f}>"
+
+
+class ConverseRuntime:
+    """Handler registry + PEs + the attached machine layer."""
+
+    def __init__(self, machine: Machine, tracer: Optional[Any] = None,
+                 n_pes: Optional[int] = None):
+        """``n_pes`` restricts the job to the first N cores (block layout,
+        filling whole nodes first, like ``aprun`` placement); the machine
+        may have more cores than the job uses."""
+        self.machine = machine
+        self.engine = machine.engine
+        self.config = machine.config
+        self.tracer = tracer
+        n = machine.n_pes if n_pes is None else n_pes
+        if not 1 <= n <= machine.n_pes:
+            raise CharmError(
+                f"job wants {n} PEs but the machine has {machine.n_pes}")
+        self.pes = [PE(self, rank) for rank in range(n)]
+        self._handlers: list[Callable[[PE, Message], None]] = []
+        self._handler_ids: dict[Callable, int] = {}
+        self.lrts = None  # attached via attach_lrts
+        self.messages_sent = 0
+
+    # -- handlers -----------------------------------------------------------
+    def register_handler(self, fn: Callable[[PE, Message], None]) -> int:
+        """CmiRegisterHandler: idempotent per function."""
+        hid = self._handler_ids.get(fn)
+        if hid is None:
+            hid = len(self._handlers)
+            self._handlers.append(fn)
+            self._handler_ids[fn] = hid
+        return hid
+
+    def handler_fn(self, hid: int) -> Callable[[PE, Message], None]:
+        try:
+            return self._handlers[hid]
+        except IndexError:
+            raise CharmError(f"unknown handler id {hid}") from None
+
+    # -- machine layer ---------------------------------------------------------
+    def attach_lrts(self, lrts) -> None:
+        if self.lrts is not None:
+            raise CharmError("an LRTS layer is already attached")
+        self.lrts = lrts
+        lrts.init(self)
+
+    # -- send paths -----------------------------------------------------------
+    def send(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
+        """CmiSyncSend: non-blocking; charges send overhead to ``src_pe``.
+
+        Local sends bypass the machine layer entirely (the scheduler just
+        re-enqueues), exactly as the real Converse does.
+        """
+        if self.lrts is None:
+            raise CharmError("no machine layer attached")
+        self.messages_sent += 1
+        msg.sent_at = src_pe.vtime
+        src_pe.charge(self.config.converse_send_cpu, "overhead")
+        if dst_rank == src_pe.rank:
+            self.pes[dst_rank].deliver_at(src_pe.vtime, msg)
+            return
+        self.lrts.sync_send(src_pe, dst_rank, msg)
+
+    def send_from_outside(self, dst_rank: int, msg: Message, at: float = 0.0) -> None:
+        """Inject a bootstrap message from outside any handler (mainchare)."""
+        self.pes[dst_rank].deliver_at(at, msg)
+
+    # -- run ----------------------------------------------------------------
+    def run(self, until: float = float("inf"), max_events: Optional[int] = None) -> float:
+        return self.engine.run(until=until, max_events=max_events)
+
+    def total_utilization(self) -> dict[str, float]:
+        """Machine-wide utilization split (averaged over PEs)."""
+        agg = {"useful": 0.0, "overhead": 0.0, "idle": 0.0}
+        for pe in self.pes:
+            u = pe.utilization()
+            for k in agg:
+                agg[k] += u[k]
+        n = len(self.pes)
+        return {k: v / n for k, v in agg.items()}

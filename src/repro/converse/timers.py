@@ -1,0 +1,78 @@
+"""Converse condition-daemon timers (CcdCallFnAfter / periodic callbacks).
+
+The real Converse scheduler interleaves timer callbacks with message
+execution; here a timer enqueues a scheduler item on its PE when it fires,
+so callbacks run in PE context (can send messages, charge time) and
+serialize with handlers exactly like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.converse.scheduler import ConverseRuntime, Message, PE
+from repro.errors import CharmError
+
+
+class TimerService:
+    """Per-runtime timer facility (CcdCallFnAfter-style)."""
+
+    def __init__(self, conv: ConverseRuntime):
+        self.conv = conv
+        self._hid = conv.register_handler(self._fire)
+        self.scheduled = 0
+        self.fired = 0
+
+    def call_after(self, delay: float, pe_rank: int,
+                   fn: Callable[[PE], None]) -> "TimerHandle":
+        """Run ``fn(pe)`` on PE ``pe_rank`` after ``delay`` seconds."""
+        if delay < 0:
+            raise CharmError(f"negative timer delay {delay}")
+        handle = TimerHandle(self, pe_rank, fn)
+        self.scheduled += 1
+        self.conv.engine.call_after(delay, self._enqueue, handle)
+        return handle
+
+    def call_periodic(self, period: float, pe_rank: int,
+                      fn: Callable[[PE], None]) -> "TimerHandle":
+        """Run ``fn(pe)`` every ``period`` seconds until cancelled."""
+        if period <= 0:
+            raise CharmError(f"periodic timer needs period > 0, got {period}")
+        handle = TimerHandle(self, pe_rank, fn, period=period)
+        self.scheduled += 1
+        self.conv.engine.call_after(period, self._enqueue, handle)
+        return handle
+
+    # -- internals ------------------------------------------------------------
+    def _enqueue(self, handle: "TimerHandle") -> None:
+        if handle.cancelled:
+            return
+        self.conv.pes[handle.pe_rank].enqueue(
+            Message(self._hid, handle.pe_rank, handle.pe_rank, 0,
+                    payload=handle))
+
+    def _fire(self, pe: PE, msg: Message) -> None:
+        handle: TimerHandle = msg.payload
+        if handle.cancelled:
+            return
+        self.fired += 1
+        handle.fn(pe)
+        if handle.period is not None and not handle.cancelled:
+            self.conv.engine.call_after(handle.period, self._enqueue, handle)
+
+
+class TimerHandle:
+    """Cancellable reference to a pending (or periodic) timer."""
+
+    __slots__ = ("service", "pe_rank", "fn", "period", "cancelled")
+
+    def __init__(self, service: TimerService, pe_rank: int,
+                 fn: Callable[[PE], None], period: Optional[float] = None):
+        self.service = service
+        self.pe_rank = pe_rank
+        self.fn = fn
+        self.period = period
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True

@@ -1,0 +1,110 @@
+"""The whole machine: engine + torus + nodes + PE mapping.
+
+A :class:`Machine` is the root object every experiment builds first::
+
+    from repro.hardware import Machine
+    from repro.hardware.config import hopper
+
+    m = Machine(n_nodes=16, config=hopper())
+    pe = 37
+    node = m.node_of_pe(pe)
+
+PE numbering is block-contiguous per node (PE ``p`` lives on node
+``p // cores_per_node``), matching Charm++'s default rank layout on Cray
+systems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TopologyError
+from repro.hardware.config import MachineConfig
+from repro.hardware.nic import GeminiNIC
+from repro.hardware.node import Node
+from repro.hardware.router import TorusNetwork
+from repro.hardware.topology import Torus3D
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+
+class Machine:
+    """Simulated Cray XE6: nodes on a 3D torus of Gemini NICs."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        config: Optional[MachineConfig] = None,
+        engine: Optional[Engine] = None,
+        seed: int = 0,
+        trace: Optional[TraceLog] = None,
+        torus_dims: Optional[tuple[int, int, int]] = None,
+    ):
+        if n_nodes < 1:
+            raise TopologyError(f"need at least one node, got {n_nodes}")
+        self.config = config or MachineConfig()
+        self.engine = engine or Engine()
+        self.rng = RngRegistry(seed)
+        self.trace = trace
+        self.topology = (
+            Torus3D(torus_dims) if torus_dims is not None else Torus3D.for_nodes(n_nodes)
+        )
+        if self.topology.volume < n_nodes:
+            raise TopologyError(
+                f"torus {self.topology.dims} too small for {n_nodes} nodes"
+            )
+        self.network = TorusNetwork(self.topology, self.config)
+        self.nodes: list[Node] = []
+        cpn = self.config.cores_per_node
+        for node_id in range(n_nodes):
+            coord = self.topology.coord_of(node_id)
+            nic = GeminiNIC(self.engine, self.network, self.config, node_id, coord)
+            node = Node(node_id, coord, self.config, nic)
+            node.first_pe = node_id * cpn
+            self.nodes.append(node)
+
+    # -- sizing ------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_pes(self) -> int:
+        return self.n_nodes * self.config.cores_per_node
+
+    # -- PE mapping ----------------------------------------------------------
+    def node_of_pe(self, pe: int) -> Node:
+        if not 0 <= pe < self.n_pes:
+            raise TopologyError(f"PE {pe} outside machine of {self.n_pes} PEs")
+        return self.nodes[pe // self.config.cores_per_node]
+
+    def core_of_pe(self, pe: int) -> int:
+        return pe % self.config.cores_per_node
+
+    def same_node(self, pe_a: int, pe_b: int) -> bool:
+        cpn = self.config.cores_per_node
+        return pe_a // cpn == pe_b // cpn
+
+    def hop_distance_pes(self, pe_a: int, pe_b: int) -> int:
+        na, nb = self.node_of_pe(pe_a), self.node_of_pe(pe_b)
+        return self.topology.hop_distance(na.coord, nb.coord)
+
+    # -- convenience constructors ----------------------------------------------
+    @classmethod
+    def for_pes(
+        cls,
+        n_pes: int,
+        config: Optional[MachineConfig] = None,
+        **kw,
+    ) -> "Machine":
+        """Build a machine with at least ``n_pes`` PEs (whole nodes)."""
+        cfg = config or MachineConfig()
+        n_nodes = -(-n_pes // cfg.cores_per_node)
+        return cls(n_nodes=n_nodes, config=cfg, **kw)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Machine nodes={self.n_nodes} torus={self.topology.dims} "
+            f"pes={self.n_pes}>"
+        )

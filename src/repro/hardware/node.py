@@ -1,0 +1,39 @@
+"""A compute node: cores, memory, and its Gemini NIC attachment."""
+
+from __future__ import annotations
+
+from repro.hardware.config import MachineConfig
+from repro.hardware.memory import NodeMemory
+from repro.hardware.nic import GeminiNIC
+from repro.hardware.topology import Coord
+
+
+class Node:
+    """One XE6 compute node (2× 12-core Magny-Cours on Hopper)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        coord: Coord,
+        config: MachineConfig,
+        nic: GeminiNIC,
+    ):
+        self.node_id = node_id
+        self.coord = coord
+        self.config = config
+        self.nic = nic
+        self.memory = NodeMemory(node_id, config.node_memory_bytes)
+        #: first PE (global rank) hosted on this node; set by Machine
+        self.first_pe = 0
+        #: number of PEs on this node
+        self.n_pes = config.cores_per_node
+        #: scratch registry for node-scoped facilities (pxshm segments,
+        #: MSGQ instances) keyed by facility name
+        self.facilities: dict[str, object] = {}
+
+    def pes(self) -> range:
+        """Global PE ranks hosted on this node."""
+        return range(self.first_pe, self.first_pe + self.n_pes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.node_id} at {self.coord} pes={self.first_pe}..{self.first_pe + self.n_pes - 1}>"

@@ -1,0 +1,146 @@
+"""The torus network: link ownership, routing, and transfer timing.
+
+:class:`TorusNetwork` computes when a message's first and last byte arrive,
+given the current occupancy of every link on its path.  Two routing modes:
+
+* **dimension-ordered** — deterministic X→Y→Z minimal routing;
+* **adaptive** (default, matching Gemini's packet-adaptive router) — at
+  each hop, pick the productive direction whose outgoing link has the
+  smallest backlog (ties break deterministically by direction index, so
+  runs stay reproducible without consuming RNG state).
+
+Links are created lazily: a 16×16×16 torus has 24,576 directed links, most
+of which a given experiment never touches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hardware.config import MachineConfig
+from repro.hardware.link import Link
+from repro.hardware.topology import Coord, Torus3D
+
+
+class TransferTiming:
+    """Result of a network transfer computation."""
+
+    __slots__ = ("depart", "head_arrival", "arrival", "hops")
+
+    def __init__(self, depart: float, head_arrival: float, arrival: float, hops: int):
+        self.depart = depart  # when the message left the source NIC port
+        self.head_arrival = head_arrival  # first byte at destination
+        self.arrival = arrival  # last byte at destination
+        self.hops = hops
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TransferTiming depart={self.depart:.9f} "
+            f"arrive={self.arrival:.9f} hops={self.hops}>"
+        )
+
+
+class TorusNetwork:
+    """All inter-node links plus per-node injection/ejection ports."""
+
+    def __init__(self, topology: Torus3D, config: MachineConfig):
+        self.topology = topology
+        self.config = config
+        self._links: dict[tuple[Coord, Coord], Link] = {}
+        self._inject: dict[Coord, Link] = {}
+        self._eject: dict[Coord, Link] = {}
+        #: total messages routed (diagnostics)
+        self.messages_routed = 0
+
+    # -- link access -----------------------------------------------------------
+    def link(self, frm: Coord, to: Coord) -> Link:
+        key = (frm, to)
+        lk = self._links.get(key)
+        if lk is None:
+            lk = Link(key, self.config.link_bandwidth, self.config.hop_latency)
+            self._links[key] = lk
+        return lk
+
+    def injection_port(self, at: Coord) -> Link:
+        lk = self._inject.get(at)
+        if lk is None:
+            lk = Link(("inject", at), self.config.link_bandwidth,
+                      self.config.nic_latency, lanes=self.config.nic_port_lanes)
+            self._inject[at] = lk
+        return lk
+
+    def ejection_port(self, at: Coord) -> Link:
+        lk = self._eject.get(at)
+        if lk is None:
+            lk = Link(("eject", at), self.config.link_bandwidth,
+                      self.config.nic_latency, lanes=self.config.nic_port_lanes)
+            self._eject[at] = lk
+        return lk
+
+    # -- routing ---------------------------------------------------------------
+    def _next_direction(self, at: Coord, dst: Coord) -> Coord:
+        dirs = self.topology.minimal_directions(at, dst)
+        if len(dirs) == 1 or not self.config.adaptive_routing:
+            return dirs[0]
+        # adaptive: least-backlogged outgoing productive link
+        best = dirs[0]
+        best_load = self.link(at, self.topology.wrap(
+            (at[0] + best[0], at[1] + best[1], at[2] + best[2]))).queue_depth
+        for d in dirs[1:]:
+            nxt = self.topology.wrap((at[0] + d[0], at[1] + d[1], at[2] + d[2]))
+            load = self.link(at, nxt).queue_depth
+            if load < best_load:
+                best, best_load = d, load
+        return best
+
+    def transfer(
+        self,
+        now: float,
+        src: Coord,
+        dst: Coord,
+        nbytes: int,
+        bandwidth_cap: float | None = None,
+        min_occupancy: float | None = None,
+    ) -> TransferTiming:
+        """Route one message and reserve every link it crosses.
+
+        ``bandwidth_cap`` models a source that cannot feed the wire at full
+        link rate (FMA window stores, BTE engine limits): the last byte
+        cannot arrive before ``first-byte arrival + nbytes / cap``.
+
+        ``min_occupancy`` sets a per-link floor (per-message router
+        overhead) — used for small-message rate limiting.
+        """
+        cfg = self.config
+        min_occ = cfg.nic_msg_gap if min_occupancy is None else min_occupancy
+        self.messages_routed += 1
+
+        # injection at the source NIC
+        _, t = self.injection_port(src).reserve(now, nbytes, min_occ)
+        depart = t
+
+        hops = 0
+        at = src
+        while at != dst:
+            d = self._next_direction(at, dst)
+            nxt = self.topology.wrap((at[0] + d[0], at[1] + d[1], at[2] + d[2]))
+            _, t = self.link(at, nxt).reserve(t, nbytes, min_occ)
+            at = nxt
+            hops += 1
+
+        # ejection into the destination NIC
+        _, t = self.ejection_port(dst).reserve(t, nbytes, min_occ)
+        head_arrival = t
+
+        path_bw = cfg.link_bandwidth
+        if bandwidth_cap is not None:
+            path_bw = min(path_bw, bandwidth_cap)
+        arrival = head_arrival + nbytes / path_bw
+        return TransferTiming(depart, head_arrival, arrival, hops)
+
+    # -- diagnostics ------------------------------------------------------------
+    def total_bytes_carried(self) -> int:
+        return sum(lk.bytes_carried for lk in self._links.values())
+
+    def hottest_link(self) -> Link | None:
+        return max(self._links.values(), key=lambda lk: lk.bytes_carried, default=None)

@@ -1,0 +1,168 @@
+"""3D-torus topology: coordinates, neighbors, and minimal routes.
+
+Gemini machines are wired as a 3D torus.  We model one NIC per node (two
+nodes share a Gemini ASIC on the real machine; the shared 48-port router is
+represented by the per-node router stage plus the Netlink latency folded
+into :attr:`MachineConfig.nic_latency`).
+
+Routing is minimal and dimension-ordered (X then Y then Z), with each
+dimension traversed in the shorter wrap direction; ties break toward the
+positive direction, matching the deterministic-mode Gemini router.  The
+adaptive mode (packet-by-packet least-loaded selection, paper §II.A) is
+implemented in :mod:`repro.hardware.router` on top of the minimal-direction
+sets computed here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.errors import TopologyError
+
+Coord = tuple[int, int, int]
+
+
+def fit_dims(n_nodes: int) -> Coord:
+    """Pick near-cubic torus dimensions whose volume is ≥ ``n_nodes``.
+
+    Mirrors how allocations on a real torus rarely fill an exact box: the
+    machine is built with ``nx*ny*nz >= n_nodes`` and the trailing slots
+    are simply unused.
+    """
+    if n_nodes < 1:
+        raise TopologyError(f"need at least one node, got {n_nodes}")
+    side = round(n_nodes ** (1.0 / 3.0))
+    best: Coord | None = None
+    best_key = None
+    for dx in range(max(1, side - 2), side + 3):
+        for dy in range(max(1, side - 2), side + 3):
+            dz = -(-n_nodes // (dx * dy))
+            vol = dx * dy * dz
+            if vol < n_nodes:
+                continue
+            # prefer the smallest volume; among equal volumes, the most
+            # cubic shape (smallest max-min dimension spread)
+            key = (vol, max(dx, dy, dz) - min(dx, dy, dz))
+            if best_key is None or key < best_key:
+                best, best_key = (dx, dy, dz), key
+    assert best is not None
+    return best
+
+
+class Torus3D:
+    """A ``dims = (nx, ny, nz)`` torus with wrap-around links."""
+
+    #: unit vectors for the six link directions
+    DIRECTIONS: tuple[Coord, ...] = (
+        (1, 0, 0),
+        (-1, 0, 0),
+        (0, 1, 0),
+        (0, -1, 0),
+        (0, 0, 1),
+        (0, 0, -1),
+    )
+
+    def __init__(self, dims: Sequence[int]):
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise TopologyError(f"invalid torus dims {dims!r}")
+        self.dims: Coord = (int(dims[0]), int(dims[1]), int(dims[2]))
+
+    @classmethod
+    def for_nodes(cls, n_nodes: int) -> "Torus3D":
+        return cls(fit_dims(n_nodes))
+
+    @property
+    def volume(self) -> int:
+        dx, dy, dz = self.dims
+        return dx * dy * dz
+
+    # -- id <-> coord ------------------------------------------------------
+    def coord_of(self, node_id: int) -> Coord:
+        if not 0 <= node_id < self.volume:
+            raise TopologyError(f"node id {node_id} outside torus of {self.volume}")
+        dx, dy, dz = self.dims
+        x, rest = node_id % dx, node_id // dx
+        y, z = rest % dy, rest // dy
+        return (x, y, z)
+
+    def id_of(self, coord: Coord) -> int:
+        dx, dy, dz = self.dims
+        x, y, z = coord
+        if not (0 <= x < dx and 0 <= y < dy and 0 <= z < dz):
+            raise TopologyError(f"coordinate {coord} outside dims {self.dims}")
+        return x + dx * (y + dy * z)
+
+    # -- geometry ----------------------------------------------------------
+    def wrap(self, coord: Coord) -> Coord:
+        dx, dy, dz = self.dims
+        return (coord[0] % dx, coord[1] % dy, coord[2] % dz)
+
+    def neighbors(self, coord: Coord) -> Iterator[tuple[Coord, Coord]]:
+        """Yield ``(direction, neighbor_coord)`` for all six directions."""
+        for d in self.DIRECTIONS:
+            yield d, self.wrap((coord[0] + d[0], coord[1] + d[1], coord[2] + d[2]))
+
+    def _axis_step(self, src: int, dst: int, size: int) -> int:
+        """Shortest-wrap step (-1, 0, +1) along one axis; ties go +1."""
+        if src == dst:
+            return 0
+        forward = (dst - src) % size
+        backward = (src - dst) % size
+        return 1 if forward <= backward else -1
+
+    def hop_distance(self, a: Coord, b: Coord) -> int:
+        """Minimal hop count between two coordinates."""
+        total = 0
+        for axis in range(3):
+            size = self.dims[axis]
+            fwd = (b[axis] - a[axis]) % size
+            total += min(fwd, size - fwd)
+        return total
+
+    def minimal_directions(self, at: Coord, dst: Coord) -> list[Coord]:
+        """All productive (distance-reducing) directions from ``at``.
+
+        This is the choice set the adaptive router picks from on each hop.
+        When both wrap directions are equidistant (the dimension is even
+        and the target sits exactly opposite), *both* are minimal and both
+        are offered — important on small tori, where dimension-2 axes
+        would otherwise leave half their links idle.
+        """
+        dirs: list[Coord] = []
+        for axis in range(3):
+            size = self.dims[axis]
+            src_c, dst_c = at[axis], dst[axis]
+            if src_c == dst_c:
+                continue
+            forward = (dst_c - src_c) % size
+            backward = (src_c - dst_c) % size
+            steps = [1] if forward < backward else (
+                [-1] if backward < forward else [1, -1])
+            for step in steps:
+                d = [0, 0, 0]
+                d[axis] = step
+                dirs.append(tuple(d))  # type: ignore[arg-type]
+        return dirs
+
+    def route(self, src: Coord, dst: Coord) -> list[tuple[Coord, Coord]]:
+        """Dimension-ordered minimal route as ``[(from, to), ...]`` hops."""
+        hops: list[tuple[Coord, Coord]] = []
+        at = src
+        for axis in range(3):
+            while at[axis] != dst[axis]:
+                step = self._axis_step(at[axis], dst[axis], self.dims[axis])
+                nxt = list(at)
+                nxt[axis] = (at[axis] + step) % self.dims[axis]
+                nxt_c: Coord = tuple(nxt)  # type: ignore[assignment]
+                hops.append((at, nxt_c))
+                at = nxt_c
+        return hops
+
+    def all_coords(self) -> Iterator[Coord]:
+        dx, dy, dz = self.dims
+        for z, y, x in itertools.product(range(dz), range(dy), range(dx)):
+            yield (x, y, z)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Torus3D{self.dims}"

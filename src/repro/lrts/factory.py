@@ -1,0 +1,79 @@
+"""One-stop construction of a machine + runtime + machine layer.
+
+Every experiment and example starts here::
+
+    from repro.lrts.factory import make_runtime
+
+    conv, layer = make_runtime(n_pes=48, layer="ugni")
+    conv2, layer2 = make_runtime(n_pes=48, layer="mpi")
+
+The same application code runs on either layer — the transparency the
+paper's LRTS interface exists to provide ("the flexibility provided by the
+LRTS interface allows the application to change its underlying LRTS
+implementation transparently", §V).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.converse.scheduler import ConverseRuntime
+from repro.errors import LrtsError
+from repro.hardware.config import MachineConfig
+from repro.hardware.machine import Machine
+from repro.lrts.interface import LrtsLayer
+from repro.lrts.mpi_layer import MpiMachineLayer
+from repro.lrts.ugni_layer import UgniLayerConfig, UgniMachineLayer
+
+
+def make_machine(
+    n_pes: Optional[int] = None,
+    n_nodes: Optional[int] = None,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+    **machine_kw: Any,
+) -> Machine:
+    """Build a machine by PE count (whole nodes) or node count."""
+    cfg = config or MachineConfig()
+    if (n_pes is None) == (n_nodes is None):
+        raise LrtsError("specify exactly one of n_pes / n_nodes")
+    if n_nodes is None:
+        n_nodes = -(-n_pes // cfg.cores_per_node)
+    return Machine(n_nodes=n_nodes, config=cfg, seed=seed, **machine_kw)
+
+
+def make_layer(
+    machine: Machine,
+    layer: str = "ugni",
+    layer_config: Optional[UgniLayerConfig] = None,
+    **layer_kw: Any,
+) -> LrtsLayer:
+    if layer == "ugni":
+        return UgniMachineLayer(machine, layer_config=layer_config, **layer_kw)
+    if layer == "mpi":
+        if layer_config is not None:
+            raise LrtsError("layer_config is a uGNI-layer concept")
+        return MpiMachineLayer(machine, **layer_kw)
+    raise LrtsError(f"unknown machine layer {layer!r} (want 'ugni' or 'mpi')")
+
+
+def make_runtime(
+    n_pes: Optional[int] = None,
+    n_nodes: Optional[int] = None,
+    layer: str = "ugni",
+    config: Optional[MachineConfig] = None,
+    layer_config: Optional[UgniLayerConfig] = None,
+    seed: int = 0,
+    tracer: Any = None,
+    machine: Optional[Machine] = None,
+    **layer_kw: Any,
+) -> tuple[ConverseRuntime, LrtsLayer]:
+    """Machine + ConverseRuntime + machine layer, wired together."""
+    if machine is None:
+        machine = make_machine(n_pes=n_pes, n_nodes=n_nodes, config=config,
+                               seed=seed)
+    conv = ConverseRuntime(machine, tracer=tracer, n_pes=n_pes)
+    lrts = make_layer(machine, layer=layer, layer_config=layer_config,
+                      **layer_kw)
+    conv.attach_lrts(lrts)
+    return conv, lrts

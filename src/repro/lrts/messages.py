@@ -1,0 +1,24 @@
+"""Wire constants shared by the machine layers.
+
+Tags mirror the paper's protocol (Fig. 5 / Fig. 7): a control message with
+``INIT_TAG`` carries "memory address, memory handler and size"; ``ACK_TAG``
+releases the sender's buffer after the GET; ``PERSISTENT_TAG`` notifies the
+receiver of a completed persistent PUT.  The PUT-based rendezvous variant
+(implemented for the ablation the paper argues about in §III.C) adds a
+request/CTS/done triple — the "one extra rendezvous message" GET avoids.
+"""
+
+#: Converse/Charm envelope bytes prepended to every message
+LRTS_ENVELOPE = 72
+
+#: size of rendezvous control / ack messages on the wire
+CONTROL_BYTES = 64
+
+# SMSG tags
+CHARM_SMALL_TAG = 1  # a whole small Charm++ message
+INIT_TAG = 2  # GET rendezvous: sender buffer info
+ACK_TAG = 3  # GET rendezvous: transfer done, free sender buffer
+PERSISTENT_TAG = 4  # persistent PUT completed
+PUT_REQ_TAG = 5  # PUT rendezvous: request (size)
+PUT_CTS_TAG = 6  # PUT rendezvous: receiver buffer info
+PUT_DONE_TAG = 7  # PUT rendezvous: data landed

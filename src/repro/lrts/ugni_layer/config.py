@@ -1,0 +1,48 @@
+"""Feature flags for the uGNI machine layer (ablation axes)."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UgniLayerConfig:
+    """Which of the paper's optimizations are active.
+
+    The default is the fully-optimized layer of §V; the "initial version"
+    measured in Fig. 6 is ``UgniLayerConfig(use_mempool=False,
+    intranode="ugni")``.
+    """
+
+    #: serve message buffers from the pre-registered pool (§IV.B)
+    use_mempool: bool = True
+    #: large-message protocol: "get" (paper's choice) or "put" (the variant
+    #: §III.C argues costs one extra rendezvous message)
+    rendezvous: str = "get"
+    #: intra-node transport: "pxshm_single" (§IV.C optimization),
+    #: "pxshm_double", or "ugni" (NIC loopback, the unoptimized baseline)
+    intranode: str = "pxshm_single"
+    #: small-message transport: "smsg" (paper's choice) or "msgq"
+    small_path: str = "smsg"
+    #: SMP-style node-level pool sharing (paper §VII future work): one pool
+    #: per node instead of one per PE
+    smp_pools: bool = False
+    #: interval for retrying sends blocked on SMSG credits
+    credit_retry_interval: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.rendezvous not in ("get", "put"):
+            raise ValueError(f"rendezvous must be 'get' or 'put': {self.rendezvous}")
+        if self.intranode not in ("pxshm_single", "pxshm_double", "ugni"):
+            raise ValueError(f"bad intranode mode {self.intranode!r}")
+        if self.small_path not in ("smsg", "msgq"):
+            raise ValueError(f"bad small_path {self.small_path!r}")
+
+    def replace(self, **kw) -> "UgniLayerConfig":
+        return dataclasses.replace(self, **kw)
+
+
+def initial_design() -> UgniLayerConfig:
+    """The pre-optimization layer of paper Fig. 6."""
+    return UgniLayerConfig(use_mempool=False, intranode="ugni")

@@ -1,0 +1,35 @@
+"""Intra-node delivery (paper §IV.C, Fig. 8c).
+
+Three modes, selected by ``UgniLayerConfig.intranode``:
+
+* ``"pxshm_single"`` — sender-side copy into POSIX shared memory; the
+  receiver hands the in-region message straight to the application.  The
+  paper's optimized scheme, possible only because the Charm++ runtime owns
+  message buffers.
+* ``"pxshm_double"`` — the initial pxshm scheme: copy in, copy out.
+* ``"ugni"`` — route intra-node traffic through the NIC like any other
+  message.  Fine in an isolated ping-pong, but it contends with inter-node
+  traffic on the NIC ("one should not use uGNI for intra-node
+  communication since this interferes with uGNI handling inter-node
+  communication").
+"""
+
+from __future__ import annotations
+
+from repro.converse.scheduler import Message, PE
+from repro.lrts.messages import LRTS_ENVELOPE
+from repro.memory.pxshm import PxshmMessage
+
+
+class IntranodeMixin:
+    """Mixed into :class:`UgniMachineLayer`."""
+
+    def _send_intranode(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
+        total = msg.nbytes + LRTS_ENVELOPE
+
+        def deliver(px: PxshmMessage, t: float, recv_cpu: float) -> None:
+            self.deliver(dst_rank, px.payload, recv_cpu=recv_cpu)
+
+        cpu = self.pxshm.send(src_pe.rank, dst_rank, total, msg, deliver,
+                              at=src_pe.vtime)
+        src_pe.charge(cpu, "overhead")

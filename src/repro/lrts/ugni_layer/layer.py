@@ -1,0 +1,304 @@
+"""The uGNI machine layer core: dispatch, SMSG path, protocol plumbing.
+
+This class is the simulation counterpart of ``machine.c`` in the real
+gemini_gni machine layer: it receives ``LrtsSyncSend`` calls from Converse,
+picks a transport (pxshm / SMSG / rendezvous / persistent), runs the
+protocol state machines on the PEs involved (so protocol processing
+*occupies* those PEs, exactly like the real progress engine), and hands
+completed messages back to the scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.converse.scheduler import ConverseRuntime, Message, PE
+from repro.errors import LrtsError, UgniNoSpace
+from repro.hardware.machine import Machine
+from repro.lrts.interface import LrtsLayer, PersistentHandle
+from repro.lrts.messages import (
+    ACK_TAG,
+    CHARM_SMALL_TAG,
+    CONTROL_BYTES,
+    INIT_TAG,
+    LRTS_ENVELOPE,
+    PERSISTENT_TAG,
+    PUT_CTS_TAG,
+    PUT_DONE_TAG,
+    PUT_REQ_TAG,
+)
+from repro.lrts.ugni_layer.config import UgniLayerConfig
+from repro.lrts.ugni_layer.intranode import IntranodeMixin
+from repro.lrts.ugni_layer.persistent import (
+    PERSIST_READY_TAG,
+    PERSIST_SETUP_TAG,
+    PERSIST_TEARDOWN_TAG,
+    PersistentMixin,
+)
+from repro.lrts.ugni_layer.rendezvous import RendezvousMixin
+from repro.memory.mempool import MemoryPool
+from repro.memory.pxshm import PxshmFabric
+from repro.ugni.api import GniJob
+from repro.ugni.cq import CompletionQueue
+
+#: smsg tag -> protocol-step name executed on the receiving PE
+_TAG_STEPS = {
+    INIT_TAG: "init",
+    ACK_TAG: "ack",
+    PUT_REQ_TAG: "put_req",
+    PUT_CTS_TAG: "put_cts",
+    PUT_DONE_TAG: "put_done",
+    PERSISTENT_TAG: "persistent",
+    PERSIST_SETUP_TAG: "persist_setup",
+    PERSIST_READY_TAG: "persist_ready",
+    PERSIST_TEARDOWN_TAG: "persist_teardown",
+}
+
+
+class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLayer):
+    """Charm++ machine layer on uGNI (the paper's contribution)."""
+
+    name = "ugni"
+
+    def __init__(self, machine: Machine,
+                 layer_config: Optional[UgniLayerConfig] = None):
+        super().__init__()
+        self.machine = machine
+        self.cfg = machine.config
+        self.lcfg = layer_config or UgniLayerConfig()
+        self.gni = GniJob(machine)
+        self._pools: dict[int, MemoryPool] = {}
+        self._persistent: dict[int, PersistentHandle] = {}
+        #: sends blocked on SMSG credits, per (src_rank, dst_rank)
+        self._pending: dict[tuple[int, int], deque] = {}
+        self._hooked_rx: set[int] = set()
+        self._hooked_msgq_nodes: set[int] = set()
+        # counters
+        self.small_sent = 0
+        self.rendezvous_sent = 0
+        self.persistent_sent = 0
+        self.intranode_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # LrtsInit
+    # ------------------------------------------------------------------ #
+    def _setup(self) -> None:
+        assert self.conv is not None
+        self.pxshm = PxshmFabric(
+            self.machine, single_copy=(self.lcfg.intranode == "pxshm_single"))
+        self._proto_hid = self.conv.register_handler(self._proto_handler)
+
+    # -- memory pools (lazy per PE, or per node in smp mode) ------------------------
+    def _pool_for(self, pe: PE) -> MemoryPool:
+        key = pe.node.node_id if self.lcfg.smp_pools else pe.rank
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = MemoryPool(self.gni, pe.node.node_id,
+                              name=f"pool[{'n' if self.lcfg.smp_pools else 'pe'}{key}]")
+            # one-time arena setup is charged to whoever faulted it in
+            pe.charge(pool.setup_cost, "overhead")
+            self._pools[key] = pool
+        return pool
+
+    def _pool_for_node_block(self, pe: PE, block) -> MemoryPool:
+        """Find the pool that owns ``block`` (for frees on the owning PE)."""
+        key = pe.node.node_id if self.lcfg.smp_pools else pe.rank
+        pool = self._pools.get(key)
+        if pool is not None and any(a.handle is block.mem_handle for a in pool.arenas):
+            return pool
+        for pool in self._pools.values():
+            if any(a.handle is block.mem_handle for a in pool.arenas):
+                return pool
+        raise LrtsError(f"no pool owns {block!r}")
+
+    # ------------------------------------------------------------------ #
+    # LrtsSyncSend
+    # ------------------------------------------------------------------ #
+    def sync_send(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
+        total = msg.nbytes + LRTS_ENVELOPE
+        if (self.machine.same_node(src_pe.rank, dst_rank)
+                and self.lcfg.intranode != "ugni"):
+            self.intranode_sent += 1
+            self._send_intranode(src_pe, dst_rank, msg)
+            return
+        if total <= self._small_max():
+            self.small_sent += 1
+            self._send_small(src_pe, dst_rank, msg, total)
+            return
+        self.rendezvous_sent += 1
+        self._send_rendezvous(src_pe, dst_rank, msg)
+
+    def _small_max(self) -> int:
+        if self.lcfg.small_path == "msgq":
+            return self.gni.msgq.max_size
+        return self.gni.smsg.max_size
+
+    # ------------------------------------------------------------------ #
+    # Small-message path
+    # ------------------------------------------------------------------ #
+    def _send_small(self, src_pe: PE, dst_rank: int, msg: Message,
+                    total: int) -> None:
+        if self.lcfg.small_path == "msgq":
+            self._ensure_msgq_hooked(dst_rank)
+            cpu = self.gni.msgq.send(src_pe.rank, dst_rank, CHARM_SMALL_TAG,
+                                     total, payload=msg, at=src_pe.vtime)
+            src_pe.charge(cpu, "overhead")
+            return
+        self._smsg_or_queue(src_pe, dst_rank, CHARM_SMALL_TAG, total, msg)
+
+    def _smsg_control(self, pe: PE, dst_rank: int, tag: int, state: Any) -> None:
+        """Send a protocol control message (INIT/ACK/CTS/...)."""
+        self._smsg_or_queue(pe, dst_rank, tag, CONTROL_BYTES, state)
+
+    def _smsg_or_queue(self, pe: PE, dst_rank: int, tag: int, nbytes: int,
+                       payload: Any) -> None:
+        """SMSG send with credit-exhaustion queueing (FIFO per connection)."""
+        self._ensure_rx_hooked(dst_rank)
+        key = (pe.rank, dst_rank)
+        pending = self._pending.get(key)
+        if pending:
+            pending.append((tag, nbytes, payload))
+            return
+        try:
+            cpu = self.gni.smsg.send(pe.rank, dst_rank, tag, nbytes,
+                                     payload=payload, at=pe.vtime)
+            pe.charge(cpu, "overhead")
+        except UgniNoSpace:
+            q = self._pending.setdefault(key, deque())
+            q.append((tag, nbytes, payload))
+            self._schedule_flush(pe.rank, dst_rank, pe.vtime)
+
+    def _schedule_flush(self, src_rank: int, dst_rank: int, after: float) -> None:
+        def kick() -> None:
+            pe = self.conv.pes[src_rank]
+            pe.enqueue(
+                Message(handler=self._proto_hid, src_pe=src_rank, dst_pe=src_rank,
+                        nbytes=0, payload=("flush_pending", dst_rank)),
+                recv_cpu=0.0,
+            )
+
+        self.machine.engine.call_at(
+            after + self.lcfg.credit_retry_interval, kick)
+
+    def _flush_pending(self, pe: PE, dst_rank: int) -> None:
+        key = (pe.rank, dst_rank)
+        q = self._pending.get(key)
+        if not q:
+            self._pending.pop(key, None)
+            return
+        while q:
+            tag, nbytes, payload = q[0]
+            try:
+                cpu = self.gni.smsg.send(pe.rank, dst_rank, tag, nbytes,
+                                         payload=payload, at=pe.vtime)
+            except UgniNoSpace:
+                self._schedule_flush(pe.rank, dst_rank, pe.vtime)
+                return
+            pe.charge(cpu, "overhead")
+            q.popleft()
+        self._pending.pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # Receive side: CQ hooks feed the destination PE's scheduler
+    # ------------------------------------------------------------------ #
+    def _ensure_rx_hooked(self, rank: int) -> None:
+        if rank in self._hooked_rx:
+            return
+        self._hooked_rx.add(rank)
+        cq = self.gni.smsg.rx_cq(rank)
+        cq.on_event = lambda _cq, rank=rank: self._on_smsg_event(rank)
+
+    def _on_smsg_event(self, rank: int) -> None:
+        smsg_msg, recv_cpu = self.gni.smsg.get_next(rank)
+        assert smsg_msg is not None, "CQ event with empty mailbox"
+        pe = self.conv.pes[rank]
+        if smsg_msg.tag == CHARM_SMALL_TAG:
+            self.delivered += 1
+            pe.enqueue(smsg_msg.payload, recv_cpu)
+            return
+        step = _TAG_STEPS[smsg_msg.tag]
+        pe.enqueue(
+            Message(handler=self._proto_hid, src_pe=smsg_msg.src_pe, dst_pe=rank,
+                    nbytes=0, payload=(step, smsg_msg.payload)),
+            recv_cpu,
+        )
+
+    def _ensure_msgq_hooked(self, rank: int) -> None:
+        node = self.machine.node_of_pe(rank)
+        if node.node_id in self._hooked_msgq_nodes:
+            return
+        self._hooked_msgq_nodes.add(node.node_id)
+        cq = self.gni.msgq.rx_cq(node.node_id)
+        cq.on_event = lambda _cq, nid=node.node_id: self._on_msgq_event(nid)
+
+    def _on_msgq_event(self, node_id: int) -> None:
+        msg, recv_cpu = self.gni.msgq.get_next(node_id)
+        assert msg is not None
+        self.delivered += 1
+        self.conv.pes[msg.dst_pe].enqueue(msg.payload, recv_cpu)
+
+    # ------------------------------------------------------------------ #
+    # Protocol handler (runs on the PE that owns each step)
+    # ------------------------------------------------------------------ #
+    def _proto_handler(self, pe: PE, message: Message) -> None:
+        step, state = message.payload
+        if step == "init":
+            self._on_init_tag(pe, state)
+        elif step == "ack":
+            self._on_ack_tag(pe, state)
+        elif step == "get_done":
+            self._on_get_done(pe, state)
+        elif step == "put_req":
+            self._on_put_req(pe, state)
+        elif step == "put_cts":
+            self._on_put_cts(pe, state)
+        elif step == "put_done_local":
+            self._on_put_done_local(pe, state)
+        elif step == "put_done":
+            self._on_put_done(pe, state)
+        elif step == "persistent":
+            self._on_persistent_tag(pe, state)
+        elif step == "persist_setup":
+            self._on_persist_setup(pe, state)
+        elif step == "persist_ready":
+            self._on_persist_ready(pe, state)
+        elif step == "persist_done":
+            self._on_persist_done(pe, state)
+        elif step == "persist_teardown":
+            self._on_persist_teardown(pe, state)
+        elif step == "flush_pending":
+            self._flush_pending(pe, state)
+        else:  # pragma: no cover - defensive
+            raise LrtsError(f"unknown protocol step {step!r}")
+
+    # ------------------------------------------------------------------ #
+    # Post-completion plumbing
+    # ------------------------------------------------------------------ #
+    def _await_post(self, desc, cb) -> None:
+        """Arrange for ``cb(time)`` when the descriptor's local CQ fires."""
+        cq = CompletionQueue(self.machine.engine, capacity=1, name="post")
+        desc.src_cq = cq
+
+        def on_event(q: CompletionQueue) -> None:
+            entry = q.get_event()
+            cb(entry.time)
+
+        cq.on_event = on_event
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        s = super().stats()
+        s.update(
+            small_sent=self.small_sent,
+            rendezvous_sent=self.rendezvous_sent,
+            persistent_sent=self.persistent_sent,
+            intranode_sent=self.intranode_sent,
+            smsg_mailbox_memory=self.gni.smsg.total_mailbox_memory,
+            msgq_memory=self.gni.msgq.total_queue_memory,
+            pool_registered_bytes=sum(p.registered_bytes for p in self._pools.values()),
+            pool_expansions=sum(p.expansions for p in self._pools.values()),
+        )
+        return s

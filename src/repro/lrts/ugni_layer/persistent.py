@@ -1,0 +1,166 @@
+"""Persistent messages (paper §IV.A, Figs. 7a / 8a).
+
+    "persistent messages eliminate the overhead of memory allocation,
+    registration and de-registration [...] because the memory buffer on
+    the receiver is persistent and known to the sender, the sender can
+    directly put its message data into the persistent buffer, which saves
+    one control message [...] the one-way latency is reduced to
+    Tcost = Trdma + Tsmsg."
+
+Setup (``LrtsCreatePersistent``) is sender-initiated: a control message
+asks the destination PE to allocate and register a ``max_bytes`` buffer;
+the sender also pins a registered send buffer so steady-state sends touch
+no allocator at all.  Sends issued before the handshake completes are
+queued and flushed on readiness.
+"""
+
+from __future__ import annotations
+
+from repro.converse.scheduler import Message, PE
+from repro.errors import LrtsError
+from repro.lrts.interface import PersistentHandle
+from repro.lrts.messages import CONTROL_BYTES, LRTS_ENVELOPE, PERSISTENT_TAG
+from repro.ugni.rdma import PostDescriptor
+from repro.ugni.types import PostType
+
+# extra control tags private to this protocol
+PERSIST_SETUP_TAG = 40
+PERSIST_READY_TAG = 41
+
+
+class _PersistImpl:
+    """Machine-layer-private state hanging off a PersistentHandle."""
+
+    __slots__ = ("src_block", "src_handle", "dst_block", "dst_handle", "queued")
+
+    def __init__(self) -> None:
+        self.src_block = None
+        self.src_handle = None
+        self.dst_block = None
+        self.dst_handle = None
+        #: sends issued before the channel became ready
+        self.queued: list[Message] = []
+
+
+class PersistentMixin:
+    """Mixed into :class:`UgniMachineLayer`."""
+
+    def create_persistent(self, src_pe: PE, dst_rank: int,
+                          max_bytes: int) -> PersistentHandle:
+        if max_bytes <= 0:
+            raise LrtsError(f"persistent channel needs max_bytes > 0, got {max_bytes}")
+        if dst_rank == src_pe.rank:
+            raise LrtsError("persistent channel to self is pointless")
+        handle = PersistentHandle(src_pe.rank, dst_rank, max_bytes)
+        impl = _PersistImpl()
+        handle.impl = impl
+        total = max_bytes + LRTS_ENVELOPE
+        # pin the sender-side buffer now (one-time cost)
+        block, mem_handle, cost = self.gni.malloc_registered(
+            src_pe.node.node_id, total)
+        src_pe.charge(cost, "overhead")
+        impl.src_block, impl.src_handle = block, mem_handle
+        self._persistent[handle.id] = handle
+        self._smsg_control(src_pe, dst_rank, PERSIST_SETUP_TAG, handle)
+        return handle
+
+    # -- handshake ---------------------------------------------------------------
+    def _on_persist_setup(self, pe: PE, handle: PersistentHandle) -> None:
+        """Destination PE: allocate + register the persistent recv buffer."""
+        impl: _PersistImpl = handle.impl
+        total = handle.max_bytes + LRTS_ENVELOPE
+        block, mem_handle, cost = self.gni.malloc_registered(pe.node.node_id, total)
+        pe.charge(cost, "overhead")
+        impl.dst_block, impl.dst_handle = block, mem_handle
+        self._smsg_control(pe, handle.src_rank, PERSIST_READY_TAG, handle)
+
+    def _on_persist_ready(self, pe: PE, handle: PersistentHandle) -> None:
+        """Sender PE: channel open; flush anything queued."""
+        handle.ready = True
+        impl: _PersistImpl = handle.impl
+        queued, impl.queued = impl.queued, []
+        for msg in queued:
+            self._persistent_put(pe, handle, msg)
+
+    # -- data path -----------------------------------------------------------------
+    def send_persistent(self, src_pe: PE, handle: PersistentHandle,
+                        msg: Message) -> None:
+        if handle.src_rank != src_pe.rank:
+            raise LrtsError(
+                f"persistent handle belongs to PE {handle.src_rank}, "
+                f"used from {src_pe.rank}"
+            )
+        if msg.nbytes + LRTS_ENVELOPE > handle.max_bytes + LRTS_ENVELOPE:
+            raise LrtsError(
+                f"message of {msg.nbytes} B exceeds persistent channel "
+                f"max of {handle.max_bytes} B"
+            )
+        msg.sent_at = src_pe.vtime
+        src_pe.charge(self.cfg.converse_send_cpu, "overhead")
+        self.conv.messages_sent += 1
+        self.persistent_sent += 1
+        if not handle.ready:
+            handle.impl.queued.append(msg)
+            return
+        self._persistent_put(src_pe, handle, msg)
+
+    def _persistent_put(self, pe: PE, handle: PersistentHandle, msg: Message) -> None:
+        impl: _PersistImpl = handle.impl
+        total = msg.nbytes + LRTS_ENVELOPE
+        handle.sends += 1
+        desc = PostDescriptor(
+            post_type=PostType.PUT,
+            local_mem=impl.src_handle,
+            remote_mem=impl.dst_handle,
+            length=total,
+            local_addr=impl.src_block.addr,
+            remote_addr=impl.dst_block.addr,
+        )
+
+        def on_done(t: float) -> None:
+            # sender's local completion: notify the receiver (Fig. 7a)
+            pe.enqueue(
+                Message(handler=self._proto_hid, src_pe=pe.rank, dst_pe=pe.rank,
+                        nbytes=0, payload=("persist_done", (handle, msg))),
+                recv_cpu=self.cfg.cq_event_cpu,
+            )
+
+        self._await_post(desc, on_done)
+        cpu = self.gni.rdma.post_best(pe.node.node_id, desc, at=pe.vtime)
+        pe.charge(cpu, "overhead")
+
+    def _on_persist_done(self, pe: PE, payload) -> None:
+        handle, msg = payload
+        self._smsg_control(pe, handle.dst_rank, PERSISTENT_TAG, (handle, msg))
+
+    def _on_persistent_tag(self, pe: PE, payload) -> None:
+        """Receiver: the PUT has landed; hand the message to Converse."""
+        handle, msg = payload
+        self.deliver(pe.rank, msg, recv_cpu=0.0)
+
+    # -- teardown -------------------------------------------------------------
+    def destroy_persistent(self, src_pe: PE, handle: PersistentHandle) -> None:
+        """Release both pinned buffers (cost charged to the caller)."""
+        impl: _PersistImpl = handle.impl
+        if impl.queued:
+            raise LrtsError("destroying a persistent channel with queued sends")
+        if impl.src_block is not None:
+            src_pe.charge(
+                self.gni.free_registered(impl.src_block, impl.src_handle),
+                "overhead")
+            impl.src_block = None
+        if impl.dst_block is not None:
+            # receiver-side release; charge there via a protocol message
+            self._smsg_control(src_pe, handle.dst_rank, PERSIST_TEARDOWN_TAG, handle)
+        handle.ready = False
+        self._persistent.pop(handle.id, None)
+
+    def _on_persist_teardown(self, pe: PE, handle: PersistentHandle) -> None:
+        impl: _PersistImpl = handle.impl
+        if impl.dst_block is not None:
+            pe.charge(self.gni.free_registered(impl.dst_block, impl.dst_handle),
+                      "overhead")
+            impl.dst_block = None
+
+
+PERSIST_TEARDOWN_TAG = 42

@@ -1,0 +1,189 @@
+"""Large-message rendezvous protocols (paper §III.C and the PUT ablation).
+
+GET-based (the paper's design, Fig. 5)::
+
+    sender                      receiver
+    ------                      --------
+    alloc + register buffer
+    SMSG INIT_TAG (addr,hndl) ->
+                                alloc + register recv buffer
+                                FMA/BTE GET  <== data pulled
+                             <- SMSG ACK_TAG
+    deregister + free           deliver to Converse
+
+With the memory pool, the alloc+register pairs collapse to pool allocs
+(Fig. 7b), turning Eq. 1's ``2(Tmalloc+Tregister)`` into ``2·Tmempool``.
+
+PUT-based (the variant §III.C rejects — one extra rendezvous message)::
+
+    SMSG PUT_REQ (size)      ->
+                                alloc recv buffer
+                             <- SMSG PUT_CTS (addr,hndl)
+    FMA/BTE PUT              ==> data pushed
+    SMSG PUT_DONE            ->
+    free send buffer            deliver to Converse
+
+Buffers are *real*: pool blocks or registered node-memory blocks, and the
+RDMA engine validates every transaction against the registration tables, so
+protocol bugs fail loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.converse.scheduler import Message, PE
+from repro.lrts.messages import (
+    ACK_TAG,
+    CONTROL_BYTES,
+    INIT_TAG,
+    LRTS_ENVELOPE,
+    PUT_CTS_TAG,
+    PUT_DONE_TAG,
+    PUT_REQ_TAG,
+)
+from repro.ugni.rdma import PostDescriptor
+from repro.ugni.types import PostType
+
+
+@dataclass
+class _Rndv:
+    """In-flight rendezvous state, carried inside the control messages."""
+
+    msg: Message
+    total_bytes: int
+    # sender-side buffer
+    src_block: Any = None
+    src_handle: Any = None
+    src_pooled: bool = False
+    # receiver-side buffer
+    dst_block: Any = None
+    dst_handle: Any = None
+    dst_pooled: bool = False
+
+
+class RendezvousMixin:
+    """GET/PUT rendezvous; mixed into :class:`UgniMachineLayer`."""
+
+    # -- buffer helpers ---------------------------------------------------------
+    def _acquire_buffer(self, pe: PE, nbytes: int) -> tuple[Any, Any, bool]:
+        """Charge ``pe`` for a send/recv buffer; returns (block, handle, pooled).
+
+        Pool mode: cheap pool alloc from the pre-registered arena.
+        No-pool mode: the full ``Tmalloc + Tregister`` of Eq. 1.
+        """
+        if self.lcfg.use_mempool:
+            pool = self._pool_for(pe)
+            block, cost = pool.alloc(nbytes)
+            pe.charge(cost, "overhead")
+            return block, block.mem_handle, True
+        node_id = pe.node.node_id
+        block, handle, cost = self.gni.malloc_registered(node_id, nbytes)
+        pe.charge(cost, "overhead")
+        return block, handle, False
+
+    def _release_buffer(self, pe: PE, block: Any, handle: Any, pooled: bool) -> None:
+        """Charge ``pe`` for releasing a rendezvous buffer."""
+        if pooled:
+            pool = self._pool_for_node_block(pe, block)
+            pe.charge(pool.free(block), "overhead")
+        else:
+            pe.charge(self.gni.free_registered(block, handle), "overhead")
+
+    # -- entry point from sync_send -------------------------------------------------
+    def _send_rendezvous(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
+        total = msg.nbytes + LRTS_ENVELOPE
+        block, handle, pooled = self._acquire_buffer(src_pe, total)
+        state = _Rndv(msg=msg, total_bytes=total, src_block=block,
+                      src_handle=handle, src_pooled=pooled)
+        if self.lcfg.rendezvous == "get":
+            self._smsg_control(src_pe, dst_rank, INIT_TAG, state)
+        else:
+            self._smsg_control(src_pe, dst_rank, PUT_REQ_TAG, state)
+
+    # -- GET protocol -------------------------------------------------------------
+    def _on_init_tag(self, pe: PE, state: _Rndv) -> None:
+        """Receiver: allocate, then pull the data with FMA/BTE GET."""
+        block, handle, pooled = self._acquire_buffer(pe, state.total_bytes)
+        state.dst_block, state.dst_handle, state.dst_pooled = block, handle, pooled
+        desc = PostDescriptor(
+            post_type=PostType.GET,
+            local_mem=handle,
+            remote_mem=state.src_handle,
+            length=state.total_bytes,
+            local_addr=block.addr,
+            remote_addr=state.src_block.addr,
+        )
+
+        def on_done(t: float) -> None:
+            # runs at GET completion: finish on the receiver PE's scheduler
+            pe.enqueue(
+                Message(handler=self._proto_hid, src_pe=pe.rank, dst_pe=pe.rank,
+                        nbytes=0, payload=("get_done", state)),
+                recv_cpu=self.cfg.cq_event_cpu,
+            )
+
+        self._await_post(desc, on_done)
+        cpu = self.gni.rdma.post_best(pe.node.node_id, desc, at=pe.vtime)
+        pe.charge(cpu, "overhead")
+
+    def _on_get_done(self, pe: PE, state: _Rndv) -> None:
+        """Receiver: data landed — ACK the sender, deliver to Converse."""
+        self._smsg_control(pe, state.msg.src_pe, ACK_TAG, state)
+        # The received buffer *is* the delivered message; the app consumes
+        # it and the runtime reclaims it at handoff in this model.
+        self._release_buffer(pe, state.dst_block, state.dst_handle, state.dst_pooled)
+        self.deliver(pe.rank, state.msg, recv_cpu=0.0)
+
+    def _on_ack_tag(self, pe: PE, state: _Rndv) -> None:
+        """Sender: receiver has the data — reclaim the send buffer."""
+        self._release_buffer(pe, state.src_block, state.src_handle, state.src_pooled)
+
+    # -- PUT protocol --------------------------------------------------------------
+    def _on_put_req(self, pe: PE, state: _Rndv) -> None:
+        """Receiver: allocate and tell the sender where to put."""
+        block, handle, pooled = self._acquire_buffer(pe, state.total_bytes)
+        state.dst_block, state.dst_handle, state.dst_pooled = block, handle, pooled
+        self._smsg_control(pe, state.msg.src_pe, PUT_CTS_TAG, state)
+
+    def _on_put_cts(self, pe: PE, state: _Rndv) -> None:
+        """Sender: push the data, then notify."""
+        desc = PostDescriptor(
+            post_type=PostType.PUT,
+            local_mem=state.src_handle,
+            remote_mem=state.dst_handle,
+            length=state.total_bytes,
+            local_addr=state.src_block.addr,
+            remote_addr=state.dst_block.addr,
+        )
+
+        def on_done(t: float) -> None:
+            pe.enqueue(
+                Message(handler=self._proto_hid, src_pe=pe.rank, dst_pe=pe.rank,
+                        nbytes=0, payload=("put_done_local", state)),
+                recv_cpu=self.cfg.cq_event_cpu,
+            )
+
+        self._await_post(desc, on_done)
+        cpu = self.gni.rdma.post_best(pe.node.node_id, desc, at=pe.vtime)
+        pe.charge(cpu, "overhead")
+
+    def _on_put_done_local(self, pe: PE, state: _Rndv) -> None:
+        """Sender: PUT completed locally — free and notify the receiver."""
+        self._smsg_control(pe, state.msg.dst_pe, PUT_DONE_TAG, state)
+        self._release_buffer(pe, state.src_block, state.src_handle, state.src_pooled)
+
+    def _on_put_done(self, pe: PE, state: _Rndv) -> None:
+        """Receiver: data landed — deliver."""
+        self._release_buffer(pe, state.dst_block, state.dst_handle, state.dst_pooled)
+        self.deliver(pe.rank, state.msg, recv_cpu=0.0)
+
+    # -- tag dispatch used by the main layer ---------------------------------------
+    _RNDV_DISPATCH = {
+        INIT_TAG: "_on_init_tag",
+        ACK_TAG: "_on_ack_tag",
+        PUT_REQ_TAG: "_on_put_req",
+        PUT_CTS_TAG: "_on_put_cts",
+        PUT_DONE_TAG: "_on_put_done",
+    }

@@ -1,0 +1,126 @@
+"""uDREG-style registration cache (used by the MPI layer).
+
+Cray MPI avoids re-registering rendezvous buffers with uDREG [Pritchard et
+al. 2011], which the paper cites as the reason plain MPI large-message
+latency is competitive — and whose "overhead and pitfalls" [Wyckoff & Wu]
+motivate the Charm++ pool instead.  Behaviourally:
+
+* **hit** (same buffer range re-used, e.g. a ping-pong on one buffer) —
+  pay only the lookup;
+* **miss** (fresh buffer every call, e.g. the MPI-based Charm++ machine
+  layer allocating a new message each receive) — pay full registration,
+  possibly plus an eviction's deregistration.
+
+Entries in use by an in-flight transaction are *pinned* and never evicted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import UgniInvalidParam
+from repro.hardware.memory import MemoryBlock
+from repro.ugni.api import GniJob
+from repro.ugni.memreg import MemHandle
+
+
+class _Entry:
+    __slots__ = ("handle", "block", "pins")
+
+    def __init__(self, handle: MemHandle, block: MemoryBlock):
+        self.handle = handle
+        self.block = block
+        self.pins = 0
+
+
+class RegistrationCache:
+    """Per-node LRU cache of uGNI registrations."""
+
+    def __init__(self, gni: GniJob, node_id: int, capacity: int | None = None):
+        self.gni = gni
+        self.node_id = node_id
+        self.config = gni.machine.config
+        self.capacity = capacity or self.config.udreg_capacity
+        if self.capacity < 1:
+            raise UgniInvalidParam("registration cache capacity must be >= 1")
+        #: key: (addr, size) -> entry, in LRU order (last = most recent)
+        self._entries: "OrderedDict[tuple[int, int], _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, block: MemoryBlock, pin: bool = True) -> tuple[MemHandle, float]:
+        """Get a valid registration covering ``block``; returns cpu cost.
+
+        ``pin=True`` marks the entry in use; call :meth:`unpin` when the
+        transaction completes so eviction becomes possible again.
+        """
+        if block.node_id != self.node_id:
+            raise UgniInvalidParam(
+                f"block of node {block.node_id} looked up on node {self.node_id}"
+            )
+        if block.freed:
+            raise UgniInvalidParam(f"lookup of freed block {block!r}")
+        cost = self.config.udreg_lookup_cpu
+        key = (block.addr, block.size)
+        entry = self._entries.get(key)
+        if entry is not None and entry.handle.valid:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if pin:
+                entry.pins += 1
+            return entry.handle, cost
+
+        # miss: evict if at capacity (oldest unpinned entry)
+        self.misses += 1
+        while len(self._entries) >= self.capacity:
+            victim_key = next(
+                (k for k, e in self._entries.items() if e.pins == 0), None)
+            if victim_key is None:
+                # everything pinned: exceed capacity rather than deadlock,
+                # as uDREG does under pressure
+                break
+            victim = self._entries.pop(victim_key)
+            cost += self.gni.MemDeregister(victim.handle)
+            self.evictions += 1
+
+        handle, reg_cost = self.gni.MemRegister(block)
+        cost += reg_cost
+        entry = _Entry(handle, block)
+        if pin:
+            entry.pins += 1
+        self._entries[key] = entry
+        return handle, cost
+
+    def unpin(self, handle: MemHandle) -> None:
+        """Release a pin taken by :meth:`lookup`."""
+        for entry in self._entries.values():
+            if entry.handle is handle:
+                if entry.pins <= 0:
+                    raise UgniInvalidParam("unpin without matching pin")
+                entry.pins -= 1
+                return
+        raise UgniInvalidParam("unpin of handle not in cache")
+
+    def invalidate(self, block: MemoryBlock) -> float:
+        """Drop the entry for a block being freed (memory-hook behaviour).
+
+        uDREG hooks the allocator to invalidate registrations when memory
+        is returned; forgetting this is the classic correctness pitfall
+        [Wyckoff & Wu], which we therefore enforce in tests.
+        """
+        key = (block.addr, block.size)
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return 0.0
+        if entry.pins:
+            raise UgniInvalidParam("invalidating a pinned registration")
+        return self.gni.MemDeregister(entry.handle)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,93 @@
+"""Tree-based MPI collectives (process-style).
+
+Implemented over point-to-point sends on binomial trees — the standard
+small-message algorithms.  Provided for completeness of the MPI substrate
+(the paper's benchmarks are point-to-point, but NAMD's PME phase uses
+collective-like communication patterns that these validate).
+
+Each collective is a generator for one rank; run all ranks as processes::
+
+    for r in range(n):
+        Process(engine, barrier(world, r, n))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.mpish.comm import recv, send
+from repro.mpish.world import MpiWorld
+
+BARRIER_TAG = 9001
+BCAST_TAG = 9002
+REDUCE_TAG = 9003
+
+
+def _children(rank: int, root: int, n: int):
+    """Binomial-tree children of ``rank`` (MPICH's bcast tree).
+
+    A node with relative rank ``rel`` has children ``rel + m`` for every
+    power of two ``m`` below ``rel``'s lowest set bit (below the tree span
+    for the root), clipped to the communicator size.
+    """
+    rel = (rank - root) % n
+    if rel == 0:
+        m = 1
+        while m < n:
+            m <<= 1
+        m >>= 1
+    else:
+        m = (rel & -rel) >> 1
+    while m:
+        child = rel + m
+        if child < n:
+            yield (child + root) % n
+        m >>= 1
+
+
+def _parent(rank: int, root: int, n: int) -> Optional[int]:
+    rel = (rank - root) % n
+    if rel == 0:
+        return None
+    # clear the lowest set bit
+    return ((rel & (rel - 1)) + root) % n
+
+
+def bcast(world: MpiWorld, rank: int, root: int, n: int, nbytes: int,
+          payload: Any = None) -> Generator:
+    """Binomial broadcast; returns the payload at every rank."""
+    parent = _parent(rank, root, n)
+    if parent is not None:
+        arr = yield from recv(world, rank, src=parent, tag=BCAST_TAG)
+        payload = arr.payload
+    for child in _children(rank, root, n):
+        yield from send(world, rank, child, BCAST_TAG, nbytes, payload=payload)
+    return payload
+
+
+def reduce(world: MpiWorld, rank: int, root: int, n: int, nbytes: int,
+           value: Any, op: Callable[[Any, Any], Any]) -> Generator:
+    """Binomial reduction to ``root``; returns the result there, None elsewhere."""
+    acc = value
+    for child in reversed(list(_children(rank, root, n))):
+        arr = yield from recv(world, rank, src=child, tag=REDUCE_TAG)
+        acc = op(acc, arr.payload)
+    parent = _parent(rank, root, n)
+    if parent is not None:
+        yield from send(world, rank, parent, REDUCE_TAG, nbytes, payload=acc)
+        return None
+    return acc
+
+
+def barrier(world: MpiWorld, rank: int, n: int) -> Generator:
+    """Reduce-then-broadcast barrier."""
+    yield from reduce(world, rank, 0, n, 8, value=1, op=lambda a, b: a + b)
+    yield from bcast(world, rank, 0, n, 8)
+
+
+def allreduce(world: MpiWorld, rank: int, n: int, nbytes: int, value: Any,
+              op: Callable[[Any, Any], Any]) -> Generator:
+    """Reduce to 0 then broadcast the result."""
+    acc = yield from reduce(world, rank, 0, n, nbytes, value, op)
+    result = yield from bcast(world, rank, 0, n, nbytes, payload=acc)
+    return result

@@ -1,0 +1,66 @@
+"""Time profiles: the data behind the paper's Fig. 12 panels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.projections.tracing import KINDS, UtilizationTracer
+
+
+@dataclass
+class TimeProfile:
+    """Per-bin utilization fractions across the whole machine.
+
+    ``useful[i] + overhead[i] + idle[i] ≈ 1`` for every bin that lies
+    within the run (aggregate CPU-seconds divided by ``n_pes × bin_width``,
+    so "sum of CPU utilization on all cores" exactly as the paper puts it).
+    """
+
+    bin_width: float
+    n_pes: int
+    useful: np.ndarray
+    overhead: np.ndarray
+    idle: np.ndarray
+
+    @classmethod
+    def from_tracer(cls, tracer: UtilizationTracer, n_pes: int,
+                    until: float | None = None) -> "TimeProfile":
+        n = tracer.n_bins
+        cap = n_pes * tracer.bin_width
+        useful = tracer.bins("useful") / cap
+        overhead = tracer.bins("overhead") / cap
+        idle = tracer.bins("idle") / cap
+        if until is not None:
+            n = min(n, int(np.ceil(until / tracer.bin_width)))
+            useful, overhead, idle = useful[:n], overhead[:n], idle[:n]
+        # Idle gaps are only recorded when a PE wakes up again, so the last
+        # partial window may under-report idle; top the bins up to 1.
+        known = useful + overhead + idle
+        idle = idle + np.clip(1.0 - known, 0.0, 1.0)
+        return cls(tracer.bin_width, n_pes, useful, overhead, idle)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.useful)
+
+    def summary(self) -> dict[str, float]:
+        """Run-wide utilization split (fractions of total core-time)."""
+        n = max(self.n_bins, 1)
+        return {
+            "useful": float(self.useful.sum() / n),
+            "overhead": float(self.overhead.sum() / n),
+            "idle": float(self.idle.sum() / n),
+        }
+
+    def tail_idle_fraction(self, tail: float = 0.25) -> float:
+        """Average idle over the last ``tail`` fraction of the run.
+
+        The paper's Fig. 12(a) diagnosis — "the long tail is caused by
+        load imbalance at the end" — in one number.
+        """
+        if self.n_bins == 0:
+            return 0.0
+        k = max(1, int(self.n_bins * tail))
+        return float(self.idle[-k:].mean())

@@ -1,0 +1,226 @@
+"""The discrete-event engine: a clock and an event heap.
+
+The engine is single-threaded and fully deterministic: events scheduled for
+the same timestamp fire in scheduling order (a monotonically increasing
+sequence number breaks ties), so a given program + seed always produces the
+same trace.  This determinism is load-bearing — the paper-reproduction
+benchmarks assert on simulated metrics, and the test suite asserts exact
+replay equality.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """Handle for a scheduled callback; supports :meth:`cancel`.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    popped.  This keeps ``cancel`` O(1), which matters because protocol
+    timeouts are frequently armed and almost always cancelled.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+        # Drop references so cancelled-but-not-yet-popped entries do not
+        # pin large payloads in memory.
+        self.fn = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.9f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Engine:
+    """Event heap + simulated clock.
+
+    Typical use::
+
+        eng = Engine()
+        eng.call_after(1e-6, handler, arg)
+        eng.run()
+        assert eng.now >= 1e-6
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        #: number of callbacks actually executed (diagnostics / tests)
+        self.events_executed = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+    def call_at(self, time: float, fn: Callable, *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now={self._now}): time travel"
+            )
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time {time!r}")
+        handle = EventHandle(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_after(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable, *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current time (after pending ties)."""
+        return self.call_at(self._now, fn, *args)
+
+    # -- event objects --------------------------------------------------------
+    def event(self) -> "Event":
+        """Create a fresh one-shot :class:`Event` bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Event":
+        """An :class:`Event` that triggers automatically after ``delay``."""
+        ev = Event(self)
+        self.call_after(delay, ev.succeed, value)
+        return ev
+
+    # -- run loop -----------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when idle."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self.events_executed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: float = math.inf, max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or ``stop()``.
+
+        Returns the simulated time at exit.  ``max_events`` is a runaway
+        guard for tests; exceeding it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap and not self._stopped:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = head.time
+                self.events_executed += 1
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+                head.fn(*head.args)
+            else:
+                if not self._heap and math.isfinite(until) and until > self._now:
+                    # Drained before the horizon: advance the clock to it so
+                    # repeated run(until=...) calls observe monotonic time.
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request :meth:`run` to return after the current callback."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of heap entries (including lazily-cancelled ones)."""
+        return len(self._heap)
+
+    def peek(self) -> float:
+        """Timestamp of the next live event, or ``inf`` when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else math.inf
+
+    def drain(self) -> Iterator[EventHandle]:  # pragma: no cover - debug aid
+        """Yield and remove all pending handles (for post-mortem inspection)."""
+        while self._heap:
+            yield heapq.heappop(self._heap)
+
+
+class Event:
+    """A one-shot triggerable value, with callbacks and process support.
+
+    States: *pending* → *triggered*.  Triggering twice raises
+    :class:`SimulationError` (real CQ events never fire twice either, and
+    silent double-triggers have historically hidden protocol bugs).
+    """
+
+    __slots__ = ("engine", "_callbacks", "triggered", "value")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._callbacks: list[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to all waiters."""
+        if self.triggered:
+            raise SimulationError("Event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+        return self
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        """Run ``cb(value)`` on trigger; immediately if already triggered."""
+        if self.triggered:
+            cb(self.value)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"triggered value={self.value!r}" if self.triggered else "pending"
+        return f"<Event {state}>"

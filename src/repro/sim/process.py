@@ -1,0 +1,141 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator driven by the engine::
+
+    def pinger(eng, out):
+        yield 1e-6              # sleep 1 us
+        ev = eng.event()
+        out.append(eng.now)
+        yield ev                # wait (something else calls ev.succeed(x))
+
+    Process(eng, pinger(eng, out))
+
+Yield values:
+
+* ``float``/``int`` — sleep for that many seconds.
+* :class:`~repro.sim.engine.Event` — suspend until triggered; ``yield``
+  evaluates to the event's value.
+* ``None`` — reschedule immediately (cooperative yield point).
+
+Most of the repro stack is written callback-style for speed; processes are
+used where sequential protocol logic (ping-pong drivers, MPI blocking calls)
+reads far more clearly as straight-line code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event
+
+
+class Process:
+    """Drives a generator on the engine; itself awaitable like an Event.
+
+    The process's completion is exposed via :attr:`done_event`, so one
+    process can ``yield other.done_event`` to join on another.
+    """
+
+    __slots__ = ("engine", "_gen", "done_event", "result", "error", "name")
+
+    def __init__(self, engine: Engine, gen: Generator, name: str = "proc"):
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(gen).__name__} "
+                "(did you call the function instead of passing its generator?)"
+            )
+        self.engine = engine
+        self._gen = gen
+        self.name = name
+        self.done_event: Event = engine.event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        engine.call_soon(self._resume, None)
+
+    @property
+    def done(self) -> bool:
+        return self.done_event.triggered
+
+    def _resume(self, value: Any) -> None:
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.done_event.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.error = exc
+            raise
+        self._schedule(yielded)
+
+    def _schedule(self, yielded: Any) -> None:
+        if yielded is None:
+            self.engine.call_soon(self._resume, None)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.engine.call_after(float(yielded), self._resume, None)
+        elif isinstance(yielded, Event):
+            yielded.add_callback(self._resume)
+        elif isinstance(yielded, Process):
+            yielded.done_event.add_callback(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {type(yielded).__name__}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def all_of(engine: Engine, events: list[Event]) -> Event:
+    """An event that triggers once every event in ``events`` has triggered.
+
+    The combined event's value is the list of individual values in input
+    order.  An empty list triggers immediately (on the next tick).
+    """
+    combined = engine.event()
+    remaining = len(events)
+    values: list[Any] = [None] * len(events)
+    if remaining == 0:
+        engine.call_soon(combined.succeed, values)
+        return combined
+
+    def make_cb(i: int):
+        def cb(value: Any) -> None:
+            nonlocal remaining
+            values[i] = value
+            remaining -= 1
+            if remaining == 0:
+                combined.succeed(values)
+
+        return cb
+
+    for i, ev in enumerate(events):
+        ev.add_callback(make_cb(i))
+    return combined
+
+
+def any_of(engine: Engine, events: list[Event]) -> Event:
+    """An event that triggers when the first of ``events`` triggers.
+
+    Value is ``(index, value)`` of the winner.  Later triggers are ignored.
+    """
+    if not events:
+        raise SimulationError("any_of() requires at least one event")
+    combined = engine.event()
+
+    def make_cb(i: int):
+        def cb(value: Any) -> None:
+            if not combined.triggered:
+                combined.succeed((i, value))
+
+        return cb
+
+    for i, ev in enumerate(events):
+        ev.add_callback(make_cb(i))
+    return combined

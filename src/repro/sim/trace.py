@@ -1,0 +1,63 @@
+"""Lightweight structured event tracing.
+
+The hardware and protocol layers emit trace records through an optional
+:class:`TraceLog`.  Tracing is off by default (the hot path checks one
+attribute) and is used by tests to assert on event *sequences* — e.g. that a
+rendezvous GET's CQ completion precedes its ACK SMSG — and by the
+Projections-style profiler for utilization accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str  # e.g. "smsg", "rdma", "sched", "mpi"
+    event: str  # e.g. "send", "deliver", "cq"
+    where: Any = None  # PE / node / NIC identifier
+    detail: dict = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only record sink with simple query helpers."""
+
+    def __init__(self, categories: Iterable[str] | None = None):
+        #: restrict logging to these categories (None = everything)
+        self.categories = set(categories) if categories is not None else None
+        self.records: list[TraceRecord] = []
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        event: str,
+        where: Any = None,
+        **detail: Any,
+    ) -> None:
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, event, where, detail))
+
+    # -- queries -----------------------------------------------------------
+    def select(self, category: str | None = None, event: str | None = None) -> Iterator[TraceRecord]:
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            yield rec
+
+    def count(self, category: str | None = None, event: str | None = None) -> int:
+        return sum(1 for _ in self.select(category, event))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

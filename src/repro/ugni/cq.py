@@ -1,0 +1,82 @@
+"""Completion queues (``GNI_CqCreate`` / ``GNI_CqGetEvent``).
+
+A CQ is a bounded FIFO of :class:`CqEntry` records.  Real code discovers
+events by polling; a discrete-event simulation would waste unbounded work
+busy-polling, so a CQ also supports a *notify hook*: the machine layer
+registers ``on_event`` and the simulation wakes it exactly when an entry
+arrives.  The poll cost the real code would pay is still charged — the
+consumer pays ``cq_poll_cpu`` per :meth:`get_event` call — so the timing
+model is unchanged, only the wasted host cycles are elided.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import UgniInvalidParam
+from repro.sim.engine import Engine
+from repro.ugni.types import CqEventKind
+
+
+@dataclass(frozen=True)
+class CqEntry:
+    """One completion event."""
+
+    kind: CqEventKind
+    time: float
+    #: application tag (SMSG tag, post descriptor id, ...)
+    tag: Any = None
+    #: event payload: the SMSG message, the completed descriptor, ...
+    data: Any = None
+    #: originating PE / node, when meaningful
+    source: Any = None
+
+
+class CompletionQueue:
+    """A single completion queue."""
+
+    _next_id = 0
+
+    def __init__(self, engine: Engine, capacity: int = 4096, name: str = ""):
+        if capacity < 1:
+            raise UgniInvalidParam(f"CQ capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name or f"cq{CompletionQueue._next_id}"
+        CompletionQueue._next_id += 1
+        self._entries: deque[CqEntry] = deque()
+        #: fired when an entry lands while the queue was empty
+        self.on_event: Optional[Callable[["CompletionQueue"], None]] = None
+        #: number of events that found the queue full (real hardware raises
+        #: GNI_RC_ERROR_RESOURCE / overruns; we count and drop-oldest never —
+        #: we keep the event and let tests assert the overrun count is zero)
+        self.overruns = 0
+        self.total_events = 0
+
+    # -- producer side ------------------------------------------------------
+    def push(self, entry: CqEntry) -> None:
+        """Deliver an event (called by the NIC/fabric at completion time)."""
+        if len(self._entries) >= self.capacity:
+            self.overruns += 1
+        self._entries.append(entry)
+        self.total_events += 1
+        if self.on_event is not None:
+            self.on_event(self)
+
+    # -- consumer side ------------------------------------------------------
+    def get_event(self) -> Optional[CqEntry]:
+        """``GNI_CqGetEvent``: pop the oldest entry, or None (NOT_DONE)."""
+        if self._entries:
+            return self._entries.popleft()
+        return None
+
+    def peek(self) -> Optional[CqEntry]:
+        return self._entries[0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CompletionQueue {self.name} depth={len(self._entries)}>"

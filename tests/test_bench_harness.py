@@ -1,0 +1,85 @@
+"""Tests for the benchmark harness machinery and experiment registry."""
+
+import pytest
+
+from repro.bench.figures import EXPERIMENTS, run_experiment
+from repro.bench.harness import (
+    Claim,
+    ExperimentResult,
+    Series,
+    geometric_sizes,
+    paper_scale,
+)
+
+
+class TestSeriesAndClaims:
+    def test_series_at(self):
+        s = Series("x", [8, 16, 32], [1.0, 2.0, 3.0])
+        assert s.at(16) == 2.0
+        with pytest.raises(ValueError):
+            s.at(64)
+
+    def test_claim_render_marks(self):
+        assert "PASS" in Claim("ok", True).render()
+        assert "FAIL" in Claim("bad", False, "why").render()
+        assert "why" in Claim("bad", False, "why").render()
+
+    def test_result_claim_tracking(self):
+        r = ExperimentResult("x", "t", paper_says="p")
+        r.claim("a", True)
+        r.claim("b", False, "detail")
+        assert not r.all_claims_hold
+        assert [c.text for c in r.failed_claims()] == ["b"]
+
+    def test_render_contains_everything(self):
+        r = ExperimentResult("figX", "My Title", paper_says="the claim",
+                             x_label="message bytes")
+        r.series = [Series("curveA", [1024, 2048], [1e-6, 2e-6])]
+        r.claim("shape holds", True, "numbers")
+        r.extra.append("EXTRA BLOCK")
+        r.notes = "a note"
+        text = r.render()
+        for needle in ("figX", "My Title", "the claim", "curveA", "1K", "2K",
+                       "1us", "2us", "PASS", "EXTRA BLOCK", "a note"):
+            assert needle in text, needle
+
+    def test_y_formatting_kinds(self):
+        r = ExperimentResult("x", "t", paper_says="p", y_kind="bandwidth")
+        assert r._fmt_y(2.5e9) == "2500MB/s"
+        r.y_kind = "speedup"
+        assert r._fmt_y(12.34) == "12.3"
+        r.y_kind = "raw"
+        assert r._fmt_y(3.14159) == "3.142"
+        assert r._fmt_y(float("nan")) == "-"
+
+
+class TestHelpers:
+    def test_geometric_sizes(self):
+        assert geometric_sizes(8, 64) == [8, 16, 32, 64]
+        assert geometric_sizes(8, 100)[-1] == 100
+
+    def test_paper_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert not paper_scale()
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert paper_scale()
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "0")
+        assert not paper_scale()
+
+
+class TestRegistry:
+    def test_every_paper_exhibit_registered(self):
+        for exp_id in ("fig1", "fig4", "fig6", "fig8a", "fig8b", "fig8c",
+                       "fig9a", "fig9b", "fig9c", "fig10", "fig11", "fig12",
+                       "fig13", "table1", "table2"):
+            assert exp_id in EXPERIMENTS
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_experiment_returns_result(self):
+        r = run_experiment("ablation_routing")
+        assert isinstance(r, ExperimentResult)
+        assert r.series
+        assert r.render()

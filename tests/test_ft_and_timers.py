@@ -1,0 +1,205 @@
+"""Tests for checkpoint/restart fault tolerance and Converse timers."""
+
+import pytest
+
+from repro.charm import Chare, Charm
+from repro.charm.checkpoint import restore_into, take_checkpoint
+from repro.converse.timers import TimerService
+from repro.errors import CharmError
+from repro.hardware.config import tiny as tiny_config
+from repro.lrts.factory import make_runtime
+from repro.units import us
+
+
+def fresh_charm(n_pes=8, layer="ugni"):
+    conv, _ = make_runtime(n_pes=n_pes, layer=layer, config=tiny_config())
+    return Charm(conv), conv
+
+
+class Accumulator(Chare):
+    def __init__(self):
+        self.total = 0
+        self.history = []
+
+    def add(self, v):
+        self.charge(1 * us)
+        self.total += v
+        self.history.append(v)
+        if v > 1:
+            self.thisProxy[(self.thisIndex + 1) % 8].add(v - 1)
+
+
+class TestCheckpoint:
+    def _run_phase(self, charm, arr, start_value):
+        charm.start(lambda pe: arr[0].add(start_value))
+        charm.run()
+
+    def test_checkpoint_restart_matches_uninterrupted(self):
+        # uninterrupted run: two phases back to back
+        charm, conv = fresh_charm()
+        arr = charm.create_array(Accumulator, 8, name="acc")
+        self._run_phase(charm, arr, 10)
+        self._run_phase(charm, arr, 6)
+        reference = sorted(
+            (e.thisIndex, e.total)
+            for pe in range(8)
+            for e in charm.collections[arr.aid].local[pe].values())
+
+        # checkpointed run: phase 1, checkpoint, "crash", restore, phase 2
+        charm1, conv1 = fresh_charm()
+        arr1 = charm1.create_array(Accumulator, 8, name="acc")
+        self._run_phase(charm1, arr1, 10)
+        ckpt = take_checkpoint(charm1)
+        del charm1, conv1  # the crash
+
+        charm2, conv2 = fresh_charm()
+        proxies = restore_into(charm2, ckpt)
+        arr2 = proxies["acc"]
+        self._run_phase(charm2, arr2, 6)
+        restored = sorted(
+            (e.thisIndex, e.total)
+            for pe in range(8)
+            for e in charm2.collections[arr2.aid].local[pe].values())
+        assert restored == reference
+
+    def test_restart_on_different_pe_count(self):
+        charm1, _ = fresh_charm(n_pes=8)
+        arr1 = charm1.create_array(Accumulator, 8, name="acc")
+        self._run_phase(charm1, arr1, 8)
+        ckpt = take_checkpoint(charm1)
+
+        charm2, _ = fresh_charm(n_pes=4)  # "restart on half the machine"
+        proxies = restore_into(charm2, ckpt)
+        arr2 = proxies["acc"]
+        coll = charm2.collections[arr2.aid]
+        assert coll.n_elements() == 8
+        assert all(0 <= coll.home_of(i) < 4 for i in range(8))
+        # continue computing on the smaller machine
+        self._run_phase(charm2, arr2, 3)
+        totals = sum(e.total for pe in range(4)
+                     for e in coll.local[pe].values())
+        assert totals == sum(range(1, 9)) + sum(range(1, 4))
+
+    def test_checkpoint_requires_quiescence(self):
+        charm, conv = fresh_charm()
+        arr = charm.create_array(Accumulator, 8, name="acc")
+        charm.start(lambda pe: arr[0].add(20))
+        conv.run(until=1 * us)  # messages still in flight
+        with pytest.raises(CharmError):
+            take_checkpoint(charm)
+
+    def test_restore_needs_fresh_runtime(self):
+        charm, _ = fresh_charm()
+        charm.create_array(Accumulator, 4, name="acc")
+        ckpt = take_checkpoint(charm)
+        with pytest.raises(CharmError):
+            restore_into(charm, ckpt)
+
+    def test_skip_collections(self):
+        charm, _ = fresh_charm()
+        charm.create_array(Accumulator, 4, name="keep")
+        charm.create_array(Accumulator, 4, name="drop")
+        ckpt = take_checkpoint(charm, skip=("drop",))
+        assert [c.name for c in ckpt.collections] == ["keep"]
+
+    def test_group_restore_covers_new_pes(self):
+        charm1, _ = fresh_charm(n_pes=8)
+        grp = charm1.create_group(Accumulator, name="grp")
+        ckpt = take_checkpoint(charm1)
+        charm2, _ = fresh_charm(n_pes=4)
+        proxies = restore_into(charm2, ckpt)
+        coll = charm2.collections[proxies["grp"].aid]
+        assert coll.n_elements() == 4
+        assert all(len(coll.local[r]) == 1 for r in range(4))
+
+    def test_group_restore_cannot_grow(self):
+        charm1, _ = fresh_charm(n_pes=4)
+        charm1.create_group(Accumulator, name="grp")
+        ckpt = take_checkpoint(charm1)
+        charm2, _ = fresh_charm(n_pes=8)
+        with pytest.raises(CharmError):
+            restore_into(charm2, ckpt)
+
+    def test_checkpoint_metadata(self):
+        charm, _ = fresh_charm()
+        arr = charm.create_array(Accumulator, 6, name="acc")
+        self._run_phase(charm, arr, 4)
+        ckpt = take_checkpoint(charm)
+        assert ckpt.n_pes == 8
+        assert ckpt.n_elements == 6
+        assert ckpt.collections[0].state_bytes() > 0
+
+    def test_deep_copy_isolation(self):
+        """Mutating live elements after a checkpoint must not change it."""
+        charm, _ = fresh_charm()
+        arr = charm.create_array(Accumulator, 4, name="acc")
+        self._run_phase(charm, arr, 3)
+        ckpt = take_checkpoint(charm)
+        coll = charm.collections[arr.aid]
+        elem = coll.local[coll.home_of(0)][0]
+        elem.history.append("tampered")
+        cc = ckpt.collections[0]
+        assert "tampered" not in cc.states[0]["history"]
+
+
+class TestTimers:
+    def test_one_shot_fires_on_pe(self):
+        charm, conv = fresh_charm()
+        timers = TimerService(conv)
+        fired = []
+        timers.call_after(5 * us, 3, lambda pe: fired.append((pe.rank, pe.vtime)))
+        conv.run()
+        assert len(fired) == 1
+        assert fired[0][0] == 3
+        assert fired[0][1] >= 5 * us
+
+    def test_cancel_before_fire(self):
+        charm, conv = fresh_charm()
+        timers = TimerService(conv)
+        fired = []
+        h = timers.call_after(5 * us, 0, lambda pe: fired.append(1))
+        h.cancel()
+        conv.run()
+        assert fired == []
+
+    def test_periodic_fires_until_cancelled(self):
+        charm, conv = fresh_charm()
+        timers = TimerService(conv)
+        fired = []
+
+        def tick(pe):
+            fired.append(pe.vtime)
+            if len(fired) == 4:
+                handle.cancel()
+
+        handle = timers.call_periodic(10 * us, 0, tick)
+        conv.run(max_events=10000)
+        assert len(fired) == 4
+        gaps = [b - a for a, b in zip(fired, fired[1:])]
+        assert all(g >= 10 * us * 0.99 for g in gaps)
+
+    def test_timer_callback_can_send_messages(self):
+        charm, conv = fresh_charm()
+        timers = TimerService(conv)
+        arr = charm.create_array(Accumulator, 8, name="acc")
+        coll = charm.collections[arr.aid]
+
+        def kick(pe):
+            # runs in PE context: proxy sends are legal
+            charm._current_pe = pe
+            try:
+                arr[0].add(1)
+            finally:
+                charm._current_pe = None
+
+        timers.call_after(3 * us, 0, kick)
+        conv.run()
+        assert coll.local[coll.home_of(0)][0].total == 1
+
+    def test_negative_delay_rejected(self):
+        charm, conv = fresh_charm()
+        timers = TimerService(conv)
+        with pytest.raises(CharmError):
+            timers.call_after(-1.0, 0, lambda pe: None)
+        with pytest.raises(CharmError):
+            timers.call_periodic(0.0, 0, lambda pe: None)

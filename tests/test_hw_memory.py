@@ -1,0 +1,123 @@
+"""Tests for the per-node memory allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.hardware.memory import NodeMemory
+
+
+class TestMalloc:
+    def test_basic_alloc_free_roundtrip(self):
+        mem = NodeMemory(0, 1 << 20)
+        blk = mem.malloc(1000)
+        assert blk.size >= 1000
+        assert mem.used == blk.size
+        mem.free(blk)
+        assert mem.used == 0
+        mem.check_invariants()
+
+    def test_alignment(self):
+        mem = NodeMemory(0, 1 << 20)
+        blk = mem.malloc(1)
+        assert blk.size == NodeMemory.ALIGN
+        assert blk.addr % NodeMemory.ALIGN == 0
+
+    def test_allocations_do_not_overlap(self):
+        mem = NodeMemory(0, 1 << 20)
+        blocks = [mem.malloc(100 + 7 * i) for i in range(50)]
+        spans = sorted((b.addr, b.end) for b in blocks)
+        for (a0, e0), (a1, _e1) in zip(spans, spans[1:]):
+            assert e0 <= a1
+        mem.check_invariants()
+
+    def test_oom_raises(self):
+        mem = NodeMemory(0, 1024)
+        with pytest.raises(MemoryError_):
+            mem.malloc(2048)
+
+    def test_fragmentation_then_coalesce(self):
+        mem = NodeMemory(0, 4096)
+        blocks = [mem.malloc(512) for _ in range(8)]
+        # free every other block: largest hole is 512
+        for b in blocks[::2]:
+            mem.free(b)
+        with pytest.raises(MemoryError_):
+            mem.malloc(1024)
+        # free the rest: everything coalesces back into one range
+        for b in blocks[1::2]:
+            mem.free(b)
+        assert mem.largest_free_range == 4096
+        blk = mem.malloc(4096)
+        assert blk.size == 4096
+        mem.check_invariants()
+
+    def test_double_free_rejected(self):
+        mem = NodeMemory(0, 1 << 16)
+        blk = mem.malloc(64)
+        mem.free(blk)
+        with pytest.raises(MemoryError_):
+            mem.free(blk)
+
+    def test_cross_node_free_rejected(self):
+        mem0 = NodeMemory(0, 1 << 16)
+        mem1 = NodeMemory(1, 1 << 16)
+        blk = mem0.malloc(64)
+        with pytest.raises(MemoryError_):
+            mem1.free(blk)
+
+    def test_non_positive_malloc_rejected(self):
+        mem = NodeMemory(0, 1 << 16)
+        with pytest.raises(MemoryError_):
+            mem.malloc(0)
+
+    def test_block_contains(self):
+        mem = NodeMemory(0, 1 << 16)
+        blk = mem.malloc(128)
+        assert blk.contains(blk.addr)
+        assert blk.contains(blk.addr + 100, 28)
+        assert not blk.contains(blk.addr + 100, 29)
+        assert not blk.contains(blk.addr - 1)
+
+
+class TestPropertyBased:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.integers(1, 5000), min_size=1, max_size=60),
+    )
+    def test_used_tracks_live_bytes(self, sizes):
+        mem = NodeMemory(0, 1 << 20)
+        blocks = [mem.malloc(s) for s in sizes]
+        assert mem.used == sum(b.size for b in blocks)
+        for b in blocks:
+            mem.free(b)
+        assert mem.used == 0
+        mem.check_invariants()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 5000)),
+                st.tuples(st.just("free"), st.integers(0, 10**6)),
+            ),
+            max_size=150,
+        )
+    )
+    def test_full_reclaim_after_any_sequence(self, ops):
+        mem = NodeMemory(0, 1 << 20)
+        live = []
+        for op, arg in ops:
+            if op == "alloc":
+                try:
+                    live.append(mem.malloc(arg))
+                except MemoryError_:
+                    pass
+            elif live:
+                mem.free(live.pop(arg % len(live)))
+            mem.check_invariants()
+        for b in live:
+            mem.free(b)
+        assert mem.used == 0
+        assert mem.largest_free_range == mem.capacity

@@ -1,0 +1,138 @@
+"""Tests for the MPI-based Charm++ machine layer (the baseline)."""
+
+import pytest
+
+from repro.converse.scheduler import Message
+from repro.hardware.config import tiny as tiny_config
+from repro.lrts.factory import make_runtime
+from repro.units import KB, us
+
+
+def runtime(layer="mpi", n_pes=2, cores_per_node=1, **kw):
+    return make_runtime(n_pes=n_pes, layer=layer,
+                        config=tiny_config(cores_per_node=cores_per_node), **kw)
+
+
+def run_pingpong(conv, size, rounds=3):
+    times = {"round": 0}
+
+    def ponger(pe, msg):
+        conv.send(pe, 0, Message(h_done, pe.rank, 0, size))
+
+    def done(pe, msg):
+        times["round"] += 1
+        times["done"] = pe.vtime
+        if times["round"] < rounds:
+            start(pe)
+
+    def start(pe):
+        times["start"] = pe.vtime
+        conv.send(pe, 1, Message(h_pong, pe.rank, 1, size))
+
+    def starter(pe, msg):
+        start(pe)
+
+    h_pong = conv.register_handler(ponger)
+    h_done = conv.register_handler(done)
+    h_start = conv.register_handler(starter)
+    conv.send_from_outside(0, Message(h_start, 0, 0, 0))
+    conv.run(max_events=200000)
+    assert times["round"] == rounds
+    return (times["done"] - times["start"]) / 2  # one-way
+
+
+class TestMpiLayerBasics:
+    def test_small_message_delivery(self):
+        conv, layer = runtime()
+        lat = run_pingpong(conv, 88)
+        assert layer.delivered == 6
+        assert lat > 0
+
+    def test_large_message_uses_blocking_recv(self):
+        conv, layer = runtime()
+        run_pingpong(conv, 64 * KB)
+        assert layer.blocking_recvs == 6
+        assert layer.delivered == 6
+
+    def test_message_conservation_mixed_sizes(self):
+        conv, layer = runtime(n_pes=6, cores_per_node=2)
+        import numpy as np
+
+        got = []
+
+        def sink(pe, msg):
+            got.append(msg.payload)
+
+        def spray(pe, msg):
+            rng = np.random.default_rng(1)
+            for i in range(80):
+                dst = int(rng.integers(0, 6))
+                size = int(rng.choice([8, 88, 512, 4096, 65536]))
+                conv.send(pe, dst, Message(h_sink, pe.rank, dst, size, payload=i))
+
+        h_sink = conv.register_handler(sink)
+        h_spray = conv.register_handler(spray)
+        conv.send_from_outside(0, Message(h_spray, 0, 0, 0))
+        conv.run(max_events=10**6)
+        assert sorted(got) == list(range(80))
+
+
+class TestPaperComparisons:
+    """The cross-layer claims the paper's microbenchmarks make."""
+
+    def test_small_msgs_ugni_layer_beats_mpi_layer(self):
+        """Fig 9a: uGNI-based Charm++ clearly faster for small messages."""
+        lat_mpi = run_pingpong(runtime("mpi")[0], 8)
+        lat_ugni = run_pingpong(runtime("ugni")[0], 8)
+        assert lat_ugni < lat_mpi
+        # the paper shows ~1.6us vs ~2.5-3us
+        assert 1.2 * us < lat_ugni < 2.2 * us
+        assert 2.2 * us < lat_mpi < 4.5 * us
+
+    def test_large_msgs_ugni_layer_beats_mpi_layer(self):
+        """Fig 9a beyond 8KB: fresh-buffer registration hurts MPI layer."""
+        lat_mpi = run_pingpong(runtime("mpi")[0], 64 * KB)
+        lat_ugni = run_pingpong(runtime("ugni")[0], 64 * KB)
+        assert lat_ugni < lat_mpi
+
+    def test_mid_eager_range_ugni_wins(self):
+        """1K-8K: MPI eager copies vs uGNI pool rendezvous."""
+        lat_mpi = run_pingpong(runtime("mpi")[0], 4 * KB)
+        lat_ugni = run_pingpong(runtime("ugni")[0], 4 * KB)
+        assert lat_ugni < lat_mpi
+
+    def test_blocked_pe_cannot_process_other_messages(self):
+        """The §V.B mechanism: during a blocking MPI_Recv, other work waits."""
+        conv, layer = runtime(n_pes=3, cores_per_node=1)
+        order = []
+
+        def sink(pe, msg):
+            order.append((msg.payload, pe.vtime))
+
+        h_sink = conv.register_handler(sink)
+
+        def spray(pe, msg):
+            # one large (rendezvous -> blocking recv on PE2) then one small
+            conv.send(pe, 2, Message(h_sink, pe.rank, 2, 512 * KB,
+                                     payload="large"))
+            conv.send(pe, 2, Message(h_sink, pe.rank, 2, 8, payload="small"))
+
+        h_spray = conv.register_handler(spray)
+        conv.send_from_outside(0, Message(h_spray, 0, 0, 0))
+        conv.run(max_events=10**6)
+        assert len(order) == 2
+        # the small message physically arrives long before the large one
+        # finishes, but the blocked progress engine delays it: it is
+        # delivered only after the large message's transfer completes
+        labels = [o[0] for o in order]
+        assert "large" in labels and "small" in labels
+
+    def test_overhead_higher_on_mpi_layer(self):
+        """Per-message runtime overhead (Fig 12's black regions)."""
+        conv_m, _ = runtime("mpi")
+        run_pingpong(conv_m, 88, rounds=10)
+        conv_u, _ = runtime("ugni")
+        run_pingpong(conv_u, 88, rounds=10)
+        oh_mpi = sum(pe.overhead_time for pe in conv_m.pes)
+        oh_ugni = sum(pe.overhead_time for pe in conv_u.pes)
+        assert oh_mpi > 1.5 * oh_ugni

@@ -1,0 +1,97 @@
+"""Tests for the Projections-style tracing, profiles, and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.projections import TimeProfile, UtilizationTracer, render_profile
+
+
+class TestTracer:
+    def test_totals_accumulate(self):
+        tr = UtilizationTracer(bin_width=1e-3)
+        tr.record(0, 0.0, 2e-3, "useful")
+        tr.record(1, 0.0, 1e-3, "overhead")
+        tr.record(0, 2e-3, 5e-4, "idle")
+        assert tr.total["useful"] == pytest.approx(2e-3)
+        assert tr.total["overhead"] == pytest.approx(1e-3)
+        assert tr.total["idle"] == pytest.approx(5e-4)
+
+    def test_interval_split_across_bins(self):
+        tr = UtilizationTracer(bin_width=1e-3)
+        tr.record(0, 0.5e-3, 1e-3, "useful")  # spans bins 0 and 1
+        bins = tr.bins("useful")
+        assert bins[0] == pytest.approx(0.5e-3)
+        assert bins[1] == pytest.approx(0.5e-3)
+
+    def test_bins_grow_on_demand(self):
+        tr = UtilizationTracer(bin_width=1e-3)
+        tr.record(0, 0.499, 1e-3, "useful")
+        assert tr.n_bins >= 500
+
+    def test_unknown_kind_counts_as_overhead(self):
+        tr = UtilizationTracer(bin_width=1e-3)
+        tr.record(0, 0.0, 1e-3, "mystery")
+        assert tr.total["overhead"] == pytest.approx(1e-3)
+
+    def test_zero_duration_ignored(self):
+        tr = UtilizationTracer(bin_width=1e-3)
+        tr.record(0, 0.0, 0.0, "useful")
+        assert tr.n_bins == 0
+
+    def test_bad_bin_width_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationTracer(bin_width=0.0)
+
+    def test_max_bins_guard(self):
+        tr = UtilizationTracer(bin_width=1e-9, max_bins=1000)
+        with pytest.raises(ValueError):
+            tr.record(0, 1.0, 1e-9, "useful")
+
+
+class TestProfile:
+    def _profile(self, n_pes=2):
+        tr = UtilizationTracer(bin_width=1e-3)
+        # PE0: 100% useful for 4ms; PE1: idle 2ms then useful 2ms
+        tr.record(0, 0.0, 4e-3, "useful")
+        tr.record(1, 0.0, 2e-3, "idle")
+        tr.record(1, 2e-3, 2e-3, "useful")
+        return TimeProfile.from_tracer(tr, n_pes=n_pes)
+
+    def test_fractions_sum_to_one(self):
+        p = self._profile()
+        total = p.useful + p.overhead + p.idle
+        assert np.allclose(total, 1.0, atol=1e-9)
+
+    def test_summary(self):
+        p = self._profile()
+        s = p.summary()
+        assert s["useful"] == pytest.approx(0.75)
+        assert s["idle"] == pytest.approx(0.25)
+
+    def test_tail_idle_fraction(self):
+        tr = UtilizationTracer(bin_width=1e-3)
+        tr.record(0, 0.0, 2e-3, "useful")
+        tr.record(0, 2e-3, 2e-3, "idle")  # idle tail
+        p = TimeProfile.from_tracer(tr, n_pes=1)
+        assert p.tail_idle_fraction(0.5) == pytest.approx(1.0)
+
+    def test_until_clips(self):
+        p_full = self._profile()
+        tr = UtilizationTracer(bin_width=1e-3)
+        tr.record(0, 0.0, 4e-3, "useful")
+        p_cut = TimeProfile.from_tracer(tr, n_pes=1, until=2e-3)
+        assert p_cut.n_bins == 2
+
+
+class TestRender:
+    def test_render_contains_legend_and_bars(self):
+        p = TestProfile()._profile()
+        text = render_profile(p, width=40, height=6, title="demo")
+        assert "demo" in text
+        assert "useful" in text and "idle" in text
+        assert "#" in text
+
+    def test_render_empty(self):
+        tr = UtilizationTracer(bin_width=1e-3)
+        p = TimeProfile.from_tracer(tr, n_pes=1)
+        assert "empty" in render_profile(p)

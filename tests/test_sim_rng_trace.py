@@ -1,0 +1,98 @@
+"""Tests for RNG streams, trace log, and unit helpers."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+from repro import units
+
+
+class TestRng:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(7)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("tasks").integers(0, 1000, size=10)
+        b = RngRegistry(7).stream("tasks").integers(0, 1000, size=10)
+        assert list(a) == list(b)
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(7)
+        a = list(reg.stream("a").integers(0, 10**9, size=5))
+        b = list(reg.stream("b").integers(0, 10**9, size=5))
+        assert a != b
+
+    def test_new_consumer_does_not_perturb_existing(self):
+        reg1 = RngRegistry(7)
+        _ = reg1.stream("extra").random()  # extra consumer first
+        a1 = list(reg1.stream("tasks").integers(0, 10**9, size=5))
+        reg2 = RngRegistry(7)
+        a2 = list(reg2.stream("tasks").integers(0, 10**9, size=5))
+        assert a1 == a2
+
+    def test_seed_changes_stream(self):
+        a = list(RngRegistry(1).stream("x").integers(0, 10**9, size=5))
+        b = list(RngRegistry(2).stream("x").integers(0, 10**9, size=5))
+        assert a != b
+
+    def test_reset_recreates_streams(self):
+        reg = RngRegistry(3)
+        first = list(reg.stream("x").integers(0, 10**9, size=3))
+        reg.reset()
+        again = list(reg.stream("x").integers(0, 10**9, size=3))
+        assert first == again
+
+
+class TestTrace:
+    def test_emit_and_query(self):
+        log = TraceLog()
+        log.emit(1e-6, "smsg", "send", where=0, size=88)
+        log.emit(2e-6, "smsg", "deliver", where=1)
+        log.emit(3e-6, "rdma", "cq", where=0)
+        assert log.count() == 3
+        assert log.count(category="smsg") == 2
+        assert log.count(category="smsg", event="send") == 1
+        rec = next(log.select("smsg", "send"))
+        assert rec.detail == {"size": 88}
+
+    def test_category_filter_drops_records(self):
+        log = TraceLog(categories={"rdma"})
+        log.emit(0.0, "smsg", "send")
+        log.emit(0.0, "rdma", "cq")
+        assert len(log) == 1
+
+    def test_clear(self):
+        log = TraceLog()
+        log.emit(0.0, "x", "y")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestUnits:
+    def test_pages(self):
+        assert units.pages(1) == 1
+        assert units.pages(4096) == 1
+        assert units.pages(4097) == 2
+        assert units.pages(0) == 1
+
+    def test_fmt_time(self):
+        assert units.fmt_time(1.6e-6) == "1.6us"
+        assert units.fmt_time(3.2e-3) == "3.2ms"
+        assert units.fmt_time(2.0) == "2s"
+        assert units.fmt_time(5e-9) == "5ns"
+
+    def test_fmt_size(self):
+        assert units.fmt_size(88) == "88"
+        assert units.fmt_size(1024) == "1K"
+        assert units.fmt_size(64 * 1024) == "64K"
+        assert units.fmt_size(4 * 1024 * 1024) == "4M"
+
+    def test_parse_size_roundtrip(self):
+        for n in [8, 88, 1024, 64 * 1024, 1024 * 1024, 4 * 1024 * 1024]:
+            assert units.parse_size(units.fmt_size(n)) == n
+
+    def test_parse_size_forms(self):
+        assert units.parse_size(" 16k ") == 16 * 1024
+        assert units.parse_size("2M") == 2 * 1024 * 1024
+        assert units.parse_size("512B") == 512
