@@ -1,0 +1,11 @@
+"""Ablation - latency/bandwidth degradation vs injected error rate.
+
+Regenerates the exhibit on the simulated Gemini machine and asserts the
+paper's qualitative claims.  See repro.bench for details.
+"""
+
+from conftest import run_and_check
+
+
+def test_ablation_faults(benchmark):
+    run_and_check(benchmark, "ablation_faults")

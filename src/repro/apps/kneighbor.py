@@ -15,12 +15,14 @@ while the uGNI layer's BTE GETs proceed concurrently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
 
 from repro.charm import Chare, Charm
+from repro.faults import FaultConfig
 from repro.hardware.config import MachineConfig
 from repro.lrts.factory import make_runtime
+from repro.lrts.ugni_layer import UgniLayerConfig
 
 
 @dataclass
@@ -32,6 +34,8 @@ class KNeighborResult:
     #: average per-iteration completion time (all sends + all ping-backs)
     iteration_time: float
     iterations: int
+    #: layer counters (plus fault/recovery counters when faults were on)
+    stats: dict[str, Any] = field(default_factory=dict)
 
 
 class _Neighbor(Chare):
@@ -94,10 +98,15 @@ def kneighbor(
     iters: int = 10,
     warmup: int = 3,
     seed: int = 0,
+    layer_config: Optional[UgniLayerConfig] = None,
+    faults: Optional[FaultConfig] = None,
+    fault_schedule: Iterable[Any] = (),
 ) -> KNeighborResult:
     """Run kNeighbor with one core per node (the paper's placement)."""
     cfg = (config or MachineConfig()).replace(cores_per_node=1)
-    conv, _ = make_runtime(n_nodes=n_cores, layer=layer, config=cfg, seed=seed)
+    conv, lrts = make_runtime(n_nodes=n_cores, layer=layer, config=cfg,
+                              seed=seed, layer_config=layer_config,
+                              faults=faults, fault_schedule=fault_schedule)
     charm = Charm(conv)
     sink: list[float] = []
     arr = charm.create_array(_Neighbor, n_cores,
@@ -106,5 +115,14 @@ def kneighbor(
     charm.start(lambda pe: arr.begin())
     charm.run(max_events=50_000_000)
     assert sink, "kNeighbor did not finish"
+    stats = lrts.stats()
+    if layer == "ugni":
+        smsg = lrts.gni.smsg
+        stats["smsg_in_flight"] = smsg.in_flight()
+        stats["smsg_credits_used"] = sum(
+            c.credits_used for c in smsg._connections.values())
+    if conv.machine.faults is not None:
+        stats["faults"] = conv.machine.faults.stats()
     return KNeighborResult(size=size, k=k, n_cores=n_cores, layer=layer,
-                           iteration_time=sink[0], iterations=iters)
+                           iteration_time=sink[0], iterations=iters,
+                           stats=stats)

@@ -11,10 +11,11 @@ measuring.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
 
 from repro.charm import Chare, Charm
+from repro.faults import FaultConfig
 from repro.hardware.config import MachineConfig
 from repro.lrts.factory import make_runtime
 from repro.lrts.ugni_layer import UgniLayerConfig
@@ -26,6 +27,8 @@ class PingPongResult:
     layer: str
     one_way_latency: float  # seconds (steady-state average)
     iterations: int
+    #: layer counters (plus fault/recovery counters when faults were on)
+    stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def bandwidth(self) -> float:
@@ -101,22 +104,29 @@ def charm_pingpong(
     intranode: bool = False,
     persistent: bool = False,
     seed: int = 0,
+    faults: Optional[FaultConfig] = None,
+    fault_schedule: Iterable[Any] = (),
 ) -> PingPongResult:
     """One-way Charm++ ping-pong latency between two PEs.
 
     ``intranode=True`` puts both PEs on one node (Fig. 8c); otherwise they
     sit on different nodes as in the paper.  ``persistent=True`` sends
-    through a persistent channel (Fig. 8a).
+    through a persistent channel (Fig. 8a).  ``faults`` /
+    ``fault_schedule`` install a fault injector; pair a nonzero drop rate
+    with ``layer_config.reliability`` or the run will simply hang on the
+    first lost message.
     """
     cfg = config or MachineConfig()
     if intranode:
-        conv, _ = make_runtime(n_nodes=1, layer=layer, config=cfg,
-                               layer_config=layer_config, seed=seed)
+        conv, lrts = make_runtime(n_nodes=1, layer=layer, config=cfg,
+                                  layer_config=layer_config, seed=seed,
+                                  faults=faults, fault_schedule=fault_schedule)
         placement = {0: 0, 1: 1}
     else:
         cfg = cfg.replace(cores_per_node=1)
-        conv, _ = make_runtime(n_nodes=2, layer=layer, config=cfg,
-                               layer_config=layer_config, seed=seed)
+        conv, lrts = make_runtime(n_nodes=2, layer=layer, config=cfg,
+                                  layer_config=layer_config, seed=seed,
+                                  faults=faults, fault_schedule=fault_schedule)
         placement = {0: 0, 1: 1}
     charm = Charm(conv)
     sink: list[float] = []
@@ -126,5 +136,13 @@ def charm_pingpong(
     charm.start(lambda pe: arr[0].ping())
     charm.run(max_events=10_000_000)
     assert sink, "ping-pong did not finish"
+    stats = lrts.stats()
+    if layer == "ugni":
+        smsg = lrts.gni.smsg
+        stats["smsg_in_flight"] = smsg.in_flight()
+        stats["smsg_credits_used"] = sum(
+            c.credits_used for c in smsg._connections.values())
+    if conv.machine.faults is not None:
+        stats["faults"] = conv.machine.faults.stats()
     return PingPongResult(size=size, layer=layer, one_way_latency=sink[0],
-                          iterations=iters)
+                          iterations=iters, stats=stats)

@@ -36,6 +36,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "ablation_msgq": ablations.ablation_msgq,
     "ablation_routing": ablations.ablation_routing,
     "ablation_smp_pools": ablations.ablation_smp_pools,
+    "ablation_faults": ablations.ablation_faults,
 }
 
 

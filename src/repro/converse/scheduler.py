@@ -147,6 +147,19 @@ class PE:
         """
         self._blocked = True
 
+    def halt(self) -> None:
+        """Stop this PE permanently (its node crashed).
+
+        Queued and future messages are never executed; the fault injector
+        calls this for every PE of a crashed node.  Modeled as a blocked
+        state that is never unblocked — accounting stays consistent and
+        in-flight hardware events addressed to the PE are simply dropped
+        on the floor, as they would be by dead silicon.
+        """
+        self._blocked = True
+        self._fifo.clear()
+        self._prioq.clear()
+
     def end_blocking(self, t: float, kind: str = "overhead") -> None:
         """Unblock at simulated time ``t``; the wait is charged as ``kind``."""
         if not self._blocked:

@@ -73,6 +73,33 @@ class UgniNoSpace(UgniError):
     rc = "GNI_RC_NOT_DONE"
 
 
+class UgniTransactionError(UgniError):
+    """An FMA/BTE transaction or SMSG delivery failed in the fabric
+    (``GNI_RC_TRANSACTION_ERROR``).
+
+    Real Gemini surfaces network-level failures — adaptive-routing link
+    faults, CRC errors, dead peers — as error completions on the
+    initiator's CQ.  The fault-injection subsystem (:mod:`repro.faults`)
+    produces the same ``CqEventKind.ERROR`` events; this exception is
+    raised when such an event reaches a layer with no recovery machinery
+    enabled (see ``UgniLayerConfig.reliability``).
+    """
+
+    rc = "GNI_RC_TRANSACTION_ERROR"
+
+
+class UgniCqOverrun(UgniError):
+    """A completion queue overflowed (``GNI_RC_ERROR_RESOURCE``).
+
+    A :class:`~repro.ugni.cq.CompletionQueue` created with ``strict=True``
+    raises this when an event arrives at a full queue; non-strict queues
+    keep the event, count the overrun, and emit an explicit ``ERROR``
+    entry instead of failing silently.
+    """
+
+    rc = "GNI_RC_ERROR_RESOURCE"
+
+
 class MpiError(ReproError):
     """Errors from the simulated MPI subset (``repro.mpish``)."""
 

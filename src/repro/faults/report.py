@@ -1,0 +1,39 @@
+"""Summaries of fault and recovery activity from a :class:`TraceLog`.
+
+The injector emits ``category="fault"`` records; the reliability layer
+emits ``category="recovery"`` records (retransmits, duplicate drops, post
+retries, persistent-channel re-arms).  These helpers fold a run's trace
+into the per-event counts the ablation benchmark and the Projections
+profile report alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sim.trace import TraceLog
+
+
+def fault_report(trace: TraceLog) -> dict[str, dict[str, int]]:
+    """Per-event counts for the ``fault`` and ``recovery`` categories."""
+    out: dict[str, Counter] = {"fault": Counter(), "recovery": Counter()}
+    for rec in trace.records:
+        if rec.category in out:
+            out[rec.category][rec.event] += 1
+    return {cat: dict(cnt) for cat, cnt in out.items()}
+
+
+def format_fault_report(trace: TraceLog) -> str:
+    """Human-readable fault/recovery summary (one line per event kind)."""
+    rep = fault_report(trace)
+    lines = []
+    for cat in ("fault", "recovery"):
+        events = rep[cat]
+        if not events:
+            continue
+        lines.append(f"{cat}:")
+        for event, n in sorted(events.items()):
+            lines.append(f"  {event:<20} {n}")
+    if not lines:
+        return "no fault or recovery events recorded"
+    return "\n".join(lines)

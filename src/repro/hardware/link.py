@@ -13,6 +13,16 @@ from __future__ import annotations
 from typing import Hashable
 
 
+#: bandwidth multiplier while a link is hard-down: traffic that cannot
+#: route around the fault still trickles through via link-level hardware
+#: resend (Gemini's adaptive-routing recovery), heavily penalized.  Keeps
+#: the flow model deadlock-free when every minimal direction is faulted.
+DOWN_BANDWIDTH_FACTOR = 0.02
+#: extra per-traversal latency of a faulted (down or degraded) link —
+#: models the hardware retransmit/CRC-retry round trips
+FAULT_LATENCY = 2.5e-6
+
+
 class Link:
     """One directed link (or NIC injection/ejection port).
 
@@ -22,10 +32,17 @@ class Link:
     Gemini NIC's concurrent FMA descriptor lanes / BTE virtual channels
     over a ~19 GB/s HyperTransport attach: many simultaneous transfers
     make progress together instead of convoying behind one FIFO.
+
+    Fault state: a link is ``"up"``, ``"degraded"`` (fraction of nominal
+    bandwidth, e.g. a lane running on its redundant wires), or ``"down"``
+    (hard fault; see :data:`DOWN_BANDWIDTH_FACTOR`).  State is changed by
+    the fault injector through :class:`~repro.hardware.router.TorusNetwork`
+    so the router's fault bookkeeping stays consistent.
     """
 
     __slots__ = ("name", "bandwidth", "latency", "_lanes", "bytes_carried",
-                 "transfers")
+                 "transfers", "state", "degrade_factor", "faults",
+                 "faulted_transfers")
 
     def __init__(self, name: Hashable, bandwidth: float, latency: float,
                  lanes: int = 1):
@@ -37,6 +54,43 @@ class Link:
         #: lifetime counters (diagnostics, adaptive routing load signal)
         self.bytes_carried = 0
         self.transfers = 0
+        #: fault state: "up" | "degraded" | "down"
+        self.state = "up"
+        #: bandwidth multiplier while degraded
+        self.degrade_factor = 1.0
+        #: lifetime fault transitions and transfers carried while faulted
+        self.faults = 0
+        self.faulted_transfers = 0
+
+    # -- fault state -----------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self.state == "up"
+
+    @property
+    def effective_bandwidth(self) -> float:
+        if self.state == "down":
+            return self.bandwidth * DOWN_BANDWIDTH_FACTOR
+        if self.state == "degraded":
+            return self.bandwidth * self.degrade_factor
+        return self.bandwidth
+
+    def fail(self) -> None:
+        """Hard link fault (flap): traffic crawls until :meth:`restore`."""
+        self.state = "down"
+        self.faults += 1
+
+    def degrade(self, factor: float) -> None:
+        """Soft fault: run at ``factor`` of nominal bandwidth."""
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"degrade factor must be in (0, 1), got {factor}")
+        self.state = "degraded"
+        self.degrade_factor = factor
+        self.faults += 1
+
+    def restore(self) -> None:
+        self.state = "up"
+        self.degrade_factor = 1.0
 
     def reserve(self, now: float, nbytes: int, min_occupancy: float = 0.0) -> tuple[float, float]:
         """Occupy the least-busy lane for one message.
@@ -55,11 +109,17 @@ class Link:
         """
         lane = min(range(len(self._lanes)), key=self._lanes.__getitem__)
         start = max(now, self._lanes[lane])
-        occupancy = max(nbytes / self.bandwidth, min_occupancy)
+        latency = self.latency
+        if self.state == "up":
+            occupancy = max(nbytes / self.bandwidth, min_occupancy)
+        else:
+            occupancy = max(nbytes / self.effective_bandwidth, min_occupancy)
+            latency += FAULT_LATENCY
+            self.faulted_transfers += 1
         self._lanes[lane] = start + occupancy
         self.bytes_carried += nbytes
         self.transfers += 1
-        return start, start + self.latency
+        return start, start + latency
 
     @property
     def available_at(self) -> float:

@@ -55,6 +55,10 @@ class Machine:
                 f"torus {self.topology.dims} too small for {n_nodes} nodes"
             )
         self.network = TorusNetwork(self.topology, self.config)
+        #: fault injector, installed by :func:`repro.faults.install_faults`;
+        #: ``None`` (the default) keeps every layer on its exact fault-free
+        #: fast path — no RNG draws, no timing changes
+        self.faults = None
         self.nodes: list[Node] = []
         cpn = self.config.cores_per_node
         for node_id in range(n_nodes):

@@ -63,6 +63,8 @@ class GeminiNIC:
         # lifetime counters
         self.smsg_sent = 0
         self.rdma_posted = 0
+        #: fault-injected FMA/BTE transactions that ended in an error CQ event
+        self.transaction_errors = 0
 
     # ------------------------------------------------------------------ #
     # SMSG path (small messages into a remote mailbox)
@@ -172,6 +174,48 @@ class GeminiNIC:
             self.engine.call_at(arrive, on_remote_data, arrive)
         if on_local_cq is not None:
             self.engine.call_at(local_cq, on_local_cq, local_cq)
+        return cpu
+
+    def failed_transfer(
+        self,
+        kind: TransferKind,
+        peer_coord: Coord,
+        nbytes: int,
+        on_error: Callable[[float], None],
+        frac: float = 0.5,
+        at: Optional[float] = None,
+    ) -> float:
+        """A transfer that dies in the fabric partway through.
+
+        Models ``GNI_RC_TRANSACTION_ERROR``: a fraction ``frac`` of the
+        payload occupies the wire (real faults burn real bandwidth before
+        the NIC notices), then the error completion comes back to the
+        initiator after the usual CQ round trip.  Returns issuing-core CPU
+        time, mirroring :meth:`post_transfer`.
+        """
+        cfg = self.config
+        now = self.engine.now if at is None else at
+        self.rdma_posted += 1
+        self.transaction_errors += 1
+        wasted = max(64, int(nbytes * frac))
+
+        if kind in (TransferKind.FMA_PUT, TransferKind.FMA_GET):
+            cpu = cfg.fma_issue_cpu + wasted / cfg.fma_put_bandwidth
+            timing = self.network.transfer(
+                now + cfg.fma_issue_cpu, self.coord, peer_coord, wasted,
+                bandwidth_cap=cfg.fma_put_bandwidth,
+            )
+        else:
+            cpu = cfg.bte_post_cpu
+            setup = cfg.bte_put_base if kind is TransferKind.BTE_PUT else cfg.bte_get_base
+            bw = cfg.bte_put_bandwidth if kind is TransferKind.BTE_PUT else cfg.bte_get_bandwidth
+            start = max(now + cpu, self.bte_available_at)
+            timing = self.network.transfer(
+                start + setup, self.coord, peer_coord, wasted, bandwidth_cap=bw)
+            # the BTE engine is busy for the bytes it did move
+            self.bte_available_at = start + setup + wasted / bw
+        t_err = timing.arrival + cfg.nic_latency + timing.hops * cfg.hop_latency
+        self.engine.call_at(t_err, on_error, t_err)
         return cpu
 
     def best_kind(self, nbytes: int, put: bool) -> TransferKind:

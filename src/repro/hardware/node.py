@@ -30,6 +30,10 @@ class Node:
         #: scratch registry for node-scoped facilities (pxshm segments,
         #: MSGQ instances) keyed by facility name
         self.facilities: dict[str, object] = {}
+        #: cleared by the fault injector when this node crashes; the
+        #: runtime halts the node's PEs and peers see their traffic to it
+        #: fail with transaction errors
+        self.alive = True
 
     def pes(self) -> range:
         """Global PE ranks hosted on this node."""

@@ -51,6 +51,10 @@ class TorusNetwork:
         self._eject: dict[Coord, Link] = {}
         #: total messages routed (diagnostics)
         self.messages_routed = 0
+        #: links currently marked down/degraded (fault-injection state)
+        self._faulted: set[tuple[Coord, Coord]] = set()
+        #: messages routed while any link fault was active
+        self.degraded_routes = 0
 
     # -- link access -----------------------------------------------------------
     def link(self, frm: Coord, to: Coord) -> Link:
@@ -77,9 +81,46 @@ class TorusNetwork:
             self._eject[at] = lk
         return lk
 
+    # -- fault state (driven by repro.faults) ------------------------------------
+    def fail_link(self, frm: Coord, to: Coord) -> None:
+        """Mark one directed link hard-down (a flap's falling edge)."""
+        self.link(frm, to).fail()
+        self._faulted.add((frm, to))
+
+    def degrade_link(self, frm: Coord, to: Coord, factor: float) -> None:
+        """Run one directed link at ``factor`` of nominal bandwidth."""
+        self.link(frm, to).degrade(factor)
+        self._faulted.add((frm, to))
+
+    def restore_link(self, frm: Coord, to: Coord) -> None:
+        self.link(frm, to).restore()
+        self._faulted.discard((frm, to))
+
+    @property
+    def route_mode(self) -> str:
+        """Active routing policy: ``"adaptive"`` or ``"dimension-ordered"``.
+
+        With any link fault outstanding, the router falls back from
+        adaptive (backlog-driven) to deterministic dimension-ordered
+        routing with down-link avoidance — the graceful-degradation mode
+        Gemini drops into when adaptive routing would keep hashing traffic
+        onto a flapping lane.
+        """
+        if self._faulted or not self.config.adaptive_routing:
+            return "dimension-ordered"
+        return "adaptive"
+
     # -- routing ---------------------------------------------------------------
     def _next_direction(self, at: Coord, dst: Coord) -> Coord:
         dirs = self.topology.minimal_directions(at, dst)
+        if self._faulted:
+            # degraded mode: dimension order, stepping around a down link
+            # when another productive direction is still up
+            for d in dirs:
+                nxt = self.topology.wrap((at[0] + d[0], at[1] + d[1], at[2] + d[2]))
+                if self.link(at, nxt).state != "down":
+                    return d
+            return dirs[0]
         if len(dirs) == 1 or not self.config.adaptive_routing:
             return dirs[0]
         # adaptive: least-backlogged outgoing productive link

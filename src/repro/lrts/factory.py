@@ -15,10 +15,11 @@ implementation transparently", §V).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from repro.converse.scheduler import ConverseRuntime
 from repro.errors import LrtsError
+from repro.faults import FaultConfig, install_faults
 from repro.hardware.config import MachineConfig
 from repro.hardware.machine import Machine
 from repro.lrts.interface import LrtsLayer
@@ -66,9 +67,16 @@ def make_runtime(
     seed: int = 0,
     tracer: Any = None,
     machine: Optional[Machine] = None,
+    faults: Optional[FaultConfig] = None,
+    fault_schedule: Iterable[Any] = (),
     **layer_kw: Any,
 ) -> tuple[ConverseRuntime, LrtsLayer]:
-    """Machine + ConverseRuntime + machine layer, wired together."""
+    """Machine + ConverseRuntime + machine layer, wired together.
+
+    ``faults`` / ``fault_schedule`` install a :class:`FaultInjector`
+    (bound to the runtime so node crashes halt PEs); both default to
+    nothing, leaving ``machine.faults`` as ``None``.
+    """
     if machine is None:
         machine = make_machine(n_pes=n_pes, n_nodes=n_nodes, config=config,
                                seed=seed)
@@ -76,4 +84,8 @@ def make_runtime(
     lrts = make_layer(machine, layer=layer, layer_config=layer_config,
                       **layer_kw)
     conv.attach_lrts(lrts)
+    fault_schedule = tuple(fault_schedule)
+    if faults is not None or fault_schedule:
+        install_faults(machine, config=faults, schedule=fault_schedule,
+                       conv=conv)
     return conv, lrts

@@ -30,6 +30,18 @@ class UgniLayerConfig:
     smp_pools: bool = False
     #: interval for retrying sends blocked on SMSG credits
     credit_retry_interval: float = 1e-6
+    #: sequence-numbered SMSG retransmission + FMA/BTE post retry
+    #: (recovery for injected faults, :mod:`repro.faults`); off by default
+    #: — the fault-free path is then bit-identical to a build without it
+    reliability: bool = False
+    #: send/post attempts before giving up (counted in ``rel_failed`` /
+    #: ``post_failures``)
+    max_retries: int = 8
+    #: retransmit timeout before the first retry; doubles (well,
+    #: ``retry_backoff_factor``s) per attempt up to ``retry_backoff_max``
+    retry_backoff_base: float = 25e-6
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 400e-6
 
     def __post_init__(self) -> None:
         if self.rendezvous not in ("get", "put"):
@@ -38,6 +50,16 @@ class UgniLayerConfig:
             raise ValueError(f"bad intranode mode {self.intranode!r}")
         if self.small_path not in ("smsg", "msgq"):
             raise ValueError(f"bad small_path {self.small_path!r}")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.retry_backoff_base <= 0:
+            raise ValueError(
+                f"retry_backoff_base must be positive, got {self.retry_backoff_base}")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}")
+        if self.retry_backoff_max < self.retry_backoff_base:
+            raise ValueError("retry_backoff_max must be >= retry_backoff_base")
 
     def replace(self, **kw) -> "UgniLayerConfig":
         return dataclasses.replace(self, **kw)

@@ -14,7 +14,7 @@ from collections import deque
 from typing import Any, Optional
 
 from repro.converse.scheduler import ConverseRuntime, Message, PE
-from repro.errors import LrtsError, UgniNoSpace
+from repro.errors import LrtsError, UgniNoSpace, UgniTransactionError
 from repro.hardware.machine import Machine
 from repro.lrts.interface import LrtsLayer, PersistentHandle
 from repro.lrts.messages import (
@@ -36,11 +36,17 @@ from repro.lrts.ugni_layer.persistent import (
     PERSIST_TEARDOWN_TAG,
     PersistentMixin,
 )
+from repro.lrts.ugni_layer.reliability import (
+    REL_ACK_TAG,
+    ReliabilityMixin,
+    _RelPacket,
+)
 from repro.lrts.ugni_layer.rendezvous import RendezvousMixin
 from repro.memory.mempool import MemoryPool
 from repro.memory.pxshm import PxshmFabric
 from repro.ugni.api import GniJob
 from repro.ugni.cq import CompletionQueue
+from repro.ugni.types import CqEventKind
 
 #: smsg tag -> protocol-step name executed on the receiving PE
 _TAG_STEPS = {
@@ -53,10 +59,12 @@ _TAG_STEPS = {
     PERSIST_SETUP_TAG: "persist_setup",
     PERSIST_READY_TAG: "persist_ready",
     PERSIST_TEARDOWN_TAG: "persist_teardown",
+    REL_ACK_TAG: "rel_ack",
 }
 
 
-class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLayer):
+class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
+                       IntranodeMixin, LrtsLayer):
     """Charm++ machine layer on uGNI (the paper's contribution)."""
 
     name = "ugni"
@@ -79,6 +87,15 @@ class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLay
         self.rendezvous_sent = 0
         self.persistent_sent = 0
         self.intranode_sent = 0
+        # recovery counters (stay zero unless lcfg.reliability + faults)
+        self._rel_on = False
+        self.rel_retransmits = 0
+        self.rel_duplicates = 0
+        self.rel_acks = 0
+        self.rel_failed = 0
+        self.post_retries = 0
+        self.post_failures = 0
+        self.persistent_rearms = 0
 
     # ------------------------------------------------------------------ #
     # LrtsInit
@@ -88,6 +105,8 @@ class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLay
         self.pxshm = PxshmFabric(
             self.machine, single_copy=(self.lcfg.intranode == "pxshm_single"))
         self._proto_hid = self.conv.register_handler(self._proto_handler)
+        if self.lcfg.reliability:
+            self._rel_setup()
 
     # -- memory pools (lazy per PE, or per node in smp mode) ------------------------
     def _pool_for(self, pe: PE) -> MemoryPool:
@@ -153,7 +172,14 @@ class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLay
 
     def _smsg_or_queue(self, pe: PE, dst_rank: int, tag: int, nbytes: int,
                        payload: Any) -> None:
-        """SMSG send with credit-exhaustion queueing (FIFO per connection)."""
+        """SMSG send, reliability-wrapped when enabled (acks excepted)."""
+        if self._rel_on and tag != REL_ACK_TAG:
+            payload = self._rel_wrap(pe, dst_rank, tag, nbytes, payload)
+        self._smsg_push(pe, dst_rank, tag, nbytes, payload)
+
+    def _smsg_push(self, pe: PE, dst_rank: int, tag: int, nbytes: int,
+                   payload: Any) -> None:
+        """Raw SMSG send with credit-exhaustion queueing (FIFO per connection)."""
         self._ensure_rx_hooked(dst_rank)
         key = (pe.rank, dst_rank)
         pending = self._pending.get(key)
@@ -211,8 +237,19 @@ class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLay
 
     def _on_smsg_event(self, rank: int) -> None:
         smsg_msg, recv_cpu = self.gni.smsg.get_next(rank)
-        assert smsg_msg is not None, "CQ event with empty mailbox"
+        if smsg_msg is None:
+            # the event was a CQ overrun marker / error entry, not a message
+            return
         pe = self.conv.pes[rank]
+        if isinstance(smsg_msg.payload, _RelPacket):
+            # dedupe + ack must run in PE context (the ack charges pe.vtime)
+            pe.enqueue(
+                Message(handler=self._proto_hid, src_pe=smsg_msg.src_pe,
+                        dst_pe=rank, nbytes=0,
+                        payload=("rel_rx", smsg_msg.payload)),
+                recv_cpu,
+            )
+            return
         if smsg_msg.tag == CHARM_SMALL_TAG:
             self.delivered += 1
             pe.enqueue(smsg_msg.payload, recv_cpu)
@@ -243,6 +280,13 @@ class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLay
     # ------------------------------------------------------------------ #
     def _proto_handler(self, pe: PE, message: Message) -> None:
         step, state = message.payload
+        self._dispatch_step(pe, step, state)
+
+    @staticmethod
+    def _step_for_tag(tag: int) -> str:
+        return _TAG_STEPS[tag]
+
+    def _dispatch_step(self, pe: PE, step: str, state: Any) -> None:
         if step == "init":
             self._on_init_tag(pe, state)
         elif step == "ack":
@@ -269,19 +313,37 @@ class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLay
             self._on_persist_teardown(pe, state)
         elif step == "flush_pending":
             self._flush_pending(pe, state)
+        elif step == "rel_rx":
+            self._on_rel_rx(pe, state)
+        elif step == "rel_ack":
+            self._on_rel_ack(pe, state)
         else:  # pragma: no cover - defensive
             raise LrtsError(f"unknown protocol step {step!r}")
 
     # ------------------------------------------------------------------ #
     # Post-completion plumbing
     # ------------------------------------------------------------------ #
-    def _await_post(self, desc, cb) -> None:
-        """Arrange for ``cb(time)`` when the descriptor's local CQ fires."""
+    def _await_post(self, desc, cb, on_error=None) -> None:
+        """Arrange for ``cb(time)`` when the descriptor's local CQ fires.
+
+        An ``ERROR`` completion (fault-injected transaction failure) goes
+        to ``on_error(time)`` instead; with no handler it raises
+        :class:`UgniTransactionError` — the documented behaviour of a
+        layer running without recovery enabled.
+        """
         cq = CompletionQueue(self.machine.engine, capacity=1, name="post")
         desc.src_cq = cq
 
         def on_event(q: CompletionQueue) -> None:
             entry = q.get_event()
+            if entry.kind is CqEventKind.ERROR:
+                if on_error is None:
+                    raise UgniTransactionError(
+                        f"post {desc.id} failed and reliability is disabled "
+                        f"(see UgniLayerConfig.reliability)"
+                    )
+                on_error(entry.time)
+                return
             cb(entry.time)
 
         cq.on_event = on_event
@@ -300,5 +362,14 @@ class UgniMachineLayer(RendezvousMixin, PersistentMixin, IntranodeMixin, LrtsLay
             msgq_memory=self.gni.msgq.total_queue_memory,
             pool_registered_bytes=sum(p.registered_bytes for p in self._pools.values()),
             pool_expansions=sum(p.expansions for p in self._pools.values()),
+            pool_live_blocks=sum(p.live_blocks for p in self._pools.values()),
+            pool_live_bytes=sum(p.live_bytes for p in self._pools.values()),
+            rel_retransmits=self.rel_retransmits,
+            rel_duplicates=self.rel_duplicates,
+            rel_acks=self.rel_acks,
+            rel_failed=self.rel_failed,
+            post_retries=self.post_retries,
+            post_failures=self.post_failures,
+            persistent_rearms=self.persistent_rearms,
         )
         return s

@@ -125,9 +125,11 @@ class PersistentMixin:
                 recv_cpu=self.cfg.cq_event_cpu,
             )
 
-        self._await_post(desc, on_done)
-        cpu = self.gni.rdma.post_best(pe.node.node_id, desc, at=pe.vtime)
-        pe.charge(cpu, "overhead")
+        # guarded with re-arm: a failed PUT deregisters + re-registers the
+        # pinned send window before the retry (its state is undefined)
+        self._post_guarded(
+            pe, desc, on_done,
+            rearm=lambda pe2, d, handle=handle: self._persist_rearm(pe2, handle, d))
 
     def _on_persist_done(self, pe: PE, payload) -> None:
         handle, msg = payload

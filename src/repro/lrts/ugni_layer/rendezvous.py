@@ -124,9 +124,8 @@ class RendezvousMixin:
                 recv_cpu=self.cfg.cq_event_cpu,
             )
 
-        self._await_post(desc, on_done)
-        cpu = self.gni.rdma.post_best(pe.node.node_id, desc, at=pe.vtime)
-        pe.charge(cpu, "overhead")
+        # guarded: a fault-injected transaction error re-posts the GET
+        self._post_guarded(pe, desc, on_done)
 
     def _on_get_done(self, pe: PE, state: _Rndv) -> None:
         """Receiver: data landed — ACK the sender, deliver to Converse."""
@@ -165,9 +164,7 @@ class RendezvousMixin:
                 recv_cpu=self.cfg.cq_event_cpu,
             )
 
-        self._await_post(desc, on_done)
-        cpu = self.gni.rdma.post_best(pe.node.node_id, desc, at=pe.vtime)
-        pe.charge(cpu, "overhead")
+        self._post_guarded(pe, desc, on_done)
 
     def _on_put_done_local(self, pe: PE, state: _Rndv) -> None:
         """Sender: PUT completed locally — free and notify the receiver."""

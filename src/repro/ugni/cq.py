@@ -15,7 +15,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.errors import UgniInvalidParam
+from repro.errors import UgniCqOverrun, UgniInvalidParam
 from repro.sim.engine import Engine
 from repro.ugni.types import CqEventKind
 
@@ -39,29 +39,51 @@ class CompletionQueue:
 
     _next_id = 0
 
-    def __init__(self, engine: Engine, capacity: int = 4096, name: str = ""):
+    def __init__(self, engine: Engine, capacity: int = 4096, name: str = "",
+                 strict: bool = False):
         if capacity < 1:
             raise UgniInvalidParam(f"CQ capacity must be >= 1, got {capacity}")
         self.engine = engine
         self.capacity = capacity
         self.name = name or f"cq{CompletionQueue._next_id}"
         CompletionQueue._next_id += 1
+        #: raise :class:`UgniCqOverrun` on overflow instead of emitting an
+        #: ``ERROR`` entry (real hardware's GNI_RC_ERROR_RESOURCE behaviour)
+        self.strict = strict
         self._entries: deque[CqEntry] = deque()
         #: fired when an entry lands while the queue was empty
         self.on_event: Optional[Callable[["CompletionQueue"], None]] = None
-        #: number of events that found the queue full (real hardware raises
-        #: GNI_RC_ERROR_RESOURCE / overruns; we count and drop-oldest never —
-        #: we keep the event and let tests assert the overrun count is zero)
+        #: number of events that found the queue full.  We never drop the
+        #: data event itself; each overrun also produces an explicit
+        #: ``ERROR`` entry (``tag="overrun"``) so consumers see the
+        #: condition instead of a silently-growing counter.
         self.overruns = 0
+        #: ``ERROR``-kind entries pushed (overrun markers + fault-injected
+        #: transaction errors)
+        self.error_events = 0
         self.total_events = 0
 
     # -- producer side ------------------------------------------------------
     def push(self, entry: CqEntry) -> None:
         """Deliver an event (called by the NIC/fabric at completion time)."""
-        if len(self._entries) >= self.capacity:
+        overrun = len(self._entries) >= self.capacity
+        if overrun:
             self.overruns += 1
+            if self.strict:
+                raise UgniCqOverrun(
+                    f"CQ {self.name} overran its capacity of {self.capacity}"
+                )
+        if entry.kind is CqEventKind.ERROR:
+            self.error_events += 1
         self._entries.append(entry)
         self.total_events += 1
+        if overrun:
+            # explicit overrun marker, queued right after the event that hit
+            # the full queue (the counter and these entries always agree)
+            self._entries.append(CqEntry(
+                CqEventKind.ERROR, entry.time, tag="overrun", data=entry,
+                source=entry.source))
+            self.error_events += 1
         if self.on_event is not None:
             self.on_event(self)
 

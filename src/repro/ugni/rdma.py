@@ -64,6 +64,8 @@ class RdmaEngine:
         #: node_id -> registration table (owned by the NIC handle layer)
         self.registrations = registrations
         self.posts_completed = 0
+        #: posts that ended in a fault-injected ``ERROR`` completion
+        self.posts_failed = 0
 
     def _validate(self, desc: PostDescriptor, initiator_node: int) -> None:
         if desc.local_mem.node_id != initiator_node:
@@ -95,6 +97,11 @@ class RdmaEngine:
         else:
             kind = TransferKind.BTE_PUT if put else TransferKind.BTE_GET
 
+        faults = machine.faults
+        if (faults is not None and peer.node_id != node.node_id
+                and faults.rdma_fails(node.node_id, peer.node_id)):
+            return self._post_failed(node, peer, desc, kind, faults, at)
+
         def on_local_cq(t: float) -> None:
             self.posts_completed += 1
             if desc.src_cq is not None:
@@ -123,6 +130,21 @@ class RdmaEngine:
         return node.nic.post_transfer(
             kind, peer.coord, desc.length,
             on_local_cq=on_local_cq, on_remote_data=on_remote, at=at)
+
+    def _post_failed(self, node, peer, desc: PostDescriptor, kind,
+                     faults, at: Optional[float]) -> float:
+        """Fault-injected transaction: error completion instead of data."""
+        self.posts_failed += 1
+
+        def on_error(t: float) -> None:
+            if desc.src_cq is not None:
+                desc.src_cq.push(CqEntry(
+                    CqEventKind.ERROR, t, tag=desc.id, data=desc,
+                    source=node.node_id))
+
+        return node.nic.failed_transfer(
+            kind, peer.coord, desc.length, on_error,
+            frac=faults.config.rdma_error_progress, at=at)
 
     def post_best(self, initiator_node: int, desc: PostDescriptor,
                   at: Optional[float] = None) -> float:

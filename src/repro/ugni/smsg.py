@@ -54,6 +54,8 @@ class SmsgConnection:
         self.credits_used = 0
         self.sent = 0
         self.delivered = 0
+        #: deliveries eaten by the fault injector (credit was reclaimed)
+        self.dropped = 0
 
     def has_credit(self, nbytes: int) -> bool:
         return self.credits_used + nbytes + SMSG_HEADER <= self.mailbox_bytes
@@ -84,6 +86,9 @@ class SmsgFabric:
         self.mailbox_memory_per_node: dict[int, int] = {}
         #: total messages dequeued via :meth:`get_next`
         self.consumed = 0
+        #: fault-injection counters (fabric-wide)
+        self.dropped = 0
+        self.stalled = 0
 
     # -- setup ---------------------------------------------------------------
     def rx_cq(self, pe: int) -> CompletionQueue:
@@ -156,6 +161,32 @@ class SmsgFabric:
 
         if src_node.node_id == dst_node.node_id:
             return src_node.nic.loopback_send(nbytes + SMSG_HEADER, on_arrive, at=at)
+
+        faults = self.machine.faults
+        if faults is not None:
+            if faults.smsg_delivery_fails(src_pe, dst_pe):
+                conn.dropped += 1
+                self.dropped += 1
+
+                def on_drop(t: float, msg=msg, conn=conn) -> None:
+                    # the fabric ate it: the receiver never sees an arrival;
+                    # mailbox credit is reclaimed when the delivery attempt
+                    # resolves, so the sender's flow control stays sound
+                    conn.release_credit(msg.nbytes)
+
+                return src_node.nic.smsg_send(dst_node.coord,
+                                              nbytes + SMSG_HEADER,
+                                              on_drop, at=at)
+            stall = faults.smsg_stall_delay(src_pe, dst_pe)
+            if stall > 0.0:
+                self.stalled += 1
+                prompt_arrive = on_arrive
+
+                def on_arrive(t: float, inner=prompt_arrive, stall=stall) -> None:
+                    # credit stall: the message (and its mailbox credit)
+                    # sits in the fabric before the receiver sees it
+                    self.machine.engine.call_at(t + stall, inner, t + stall)
+
         return src_node.nic.smsg_send(dst_node.coord, nbytes + SMSG_HEADER,
                                       on_arrive, at=at)
 
@@ -170,6 +201,10 @@ class SmsgFabric:
         cfg = self.config
         cq = self.rx_cq(pe)
         entry = cq.get_event()
+        # overrun markers and other ERROR entries are not messages; drain
+        # past them so the one-event-one-message protocol stays in step
+        while entry is not None and entry.kind is not CqEventKind.SMSG_ARRIVAL:
+            entry = cq.get_event()
         if entry is None:
             return None, cfg.cq_poll_cpu
         msg: SmsgMessage = entry.data
@@ -180,8 +215,14 @@ class SmsgFabric:
 
     # -- introspection ---------------------------------------------------------
     def in_flight(self) -> int:
-        """Messages sent but not yet dequeued by a receiver."""
-        return sum(c.sent for c in self._connections.values()) - self.consumed
+        """Messages sent but not yet dequeued by a receiver.
+
+        Fault-dropped deliveries never reach a receiver, so they are
+        excluded — after quiescence this must return zero even under
+        injected loss (the chaos tests' conservation invariant).
+        """
+        return (sum(c.sent - c.dropped for c in self._connections.values())
+                - self.consumed)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -27,3 +27,8 @@ class CqEventKind(enum.Enum):
     SMSG_TX = "smsg_tx"
     #: a MSGQ message arrived in the node queue
     MSGQ_ARRIVAL = "msgq_arrival"
+    #: the operation failed (``GNI_RC_TRANSACTION_ERROR`` family): a
+    #: fault-injected FMA/BTE transaction, or a CQ overrun marker
+    #: (``tag="overrun"``).  ``data`` carries the failed descriptor /
+    #: overrun entry so recovery code can identify what to retry.
+    ERROR = "error"

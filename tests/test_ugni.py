@@ -39,7 +39,10 @@ class TestCompletionQueue:
         for i in range(3):
             cq.push(CqEntry(CqEventKind.POST_DONE, 0.0, tag=i))
         assert cq.overruns == 1
-        assert len(cq) == 3
+        # the data event is kept AND an explicit ERROR marker is queued
+        assert len(cq) == 4
+        kinds = [cq.get_event().kind for _ in range(4)]
+        assert kinds.count(CqEventKind.ERROR) == 1
 
     def test_on_event_hook_fires(self):
         m, job = make_job()
