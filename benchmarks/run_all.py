@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Continuous benchmark-regression harness.
+
+Runs the headline perf-sensitive workloads — fig-9 ping-pong
+(latency + bandwidth), fig-10 kNeighbor, and a pure engine events/sec
+microbenchmark — and emits a ``BENCH_<label>.json`` with:
+
+* **wall-clock** per benchmark: median of ``--rounds`` CPU-time
+  measurements (``time.process_time``, immune to other processes), plus
+  a machine **calibration** factor (a fixed pure-Python spin loop) so
+  numbers recorded on one machine can be compared on another as the
+  dimensionless ``normalized`` cost = wall / calibration;
+* **simulated metrics** and their sha256 **checksum**: the simulation is
+  deterministic, so the checksum must be byte-identical across rounds,
+  machines, and optimization PRs — determinism is verified alongside
+  speed, every round, and any drift fails the run.
+
+``--check BASELINE`` compares against a committed baseline JSON:
+checksums must match exactly and each benchmark's normalized cost must
+not regress by more than ``--tolerance`` (default 20%).  Exit status is
+non-zero on any regression or checksum drift, which is what the CI
+perf-smoke job keys off.
+
+Usage::
+
+    python benchmarks/run_all.py --out BENCH_pr3.json
+    python benchmarks/run_all.py --check benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.kneighbor import kneighbor
+from repro.apps.pingpong import charm_pingpong
+from repro.sim import Engine
+from repro.units import KB, MB
+
+#: bump when the benchmark set or the JSON layout changes incompatibly
+SCHEMA = "repro-bench-v1"
+
+
+# --------------------------------------------------------------------- #
+# the benchmarks: each returns {metric_name: simulated_value}
+# --------------------------------------------------------------------- #
+def bench_pingpong() -> dict[str, float]:
+    """Fig-9 ping-pong: small/rendezvous latency and large bandwidth."""
+    small = charm_pingpong(64, layer="ugni", iters=400)
+    rndv = charm_pingpong(64 * KB, layer="ugni", iters=400)
+    big = charm_pingpong(1 * MB, layer="ugni", iters=200)
+    return {
+        "latency_64B_s": small.one_way_latency,
+        "latency_64KB_s": rndv.one_way_latency,
+        "bandwidth_1MB_Bps": big.bandwidth,
+    }
+
+
+def bench_kneighbor() -> dict[str, float]:
+    """Fig-10 kNeighbor iteration time at an SMSG and a rendezvous size."""
+    sm = kneighbor(2 * KB, layer="ugni", iters=60)
+    lg = kneighbor(256 * KB, layer="ugni", iters=60)
+    return {
+        "iteration_2KB_s": sm.iteration_time,
+        "iteration_256KB_s": lg.iteration_time,
+    }
+
+
+def bench_engine_events(n: int = 200_000) -> dict[str, float]:
+    """Raw event-kernel throughput: schedule/execute plus the
+    armed-and-cancelled timeout pattern every reliable SMSG produces."""
+    eng = Engine()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        eng.call_after(1e-6, _noop).cancel()  # timer churn (pool + compaction)
+        if count[0] < n:
+            eng.call_after(1e-9, tick)
+
+    eng.call_after(1e-9, tick)
+    eng.run()
+    return {
+        "events_executed": float(eng.events_executed),
+        "final_now_s": eng.now,
+        "ticks": float(n),
+    }
+
+
+def _noop() -> None:
+    pass
+
+
+BENCHMARKS = {
+    "pingpong": bench_pingpong,
+    "kneighbor": bench_kneighbor,
+    "engine_events": bench_engine_events,
+}
+
+
+# --------------------------------------------------------------------- #
+# measurement machinery
+# --------------------------------------------------------------------- #
+def checksum(sim: dict[str, float]) -> str:
+    """sha256 over the full-precision reprs, order-independent."""
+    blob = ";".join(f"{k}={v!r}" for k, v in sorted(sim.items()))
+    return "sha256:" + hashlib.sha256(blob.encode()).hexdigest()
+
+
+def calibrate(spins: int = 2_000_000) -> float:
+    """CPU seconds for a fixed pure-Python loop — the machine-speed unit."""
+    t0 = time.process_time()
+    acc = 0
+    for i in range(spins):
+        acc += i & 7
+    assert acc >= 0
+    return time.process_time() - t0
+
+
+def run_benchmark(name: str, rounds: int) -> dict:
+    fn = BENCHMARKS[name]
+    walls, sums = [], set()
+    sim: dict[str, float] = {}
+    fn()  # warm-up round: imports, lazy caches, allocator steady state
+    for _ in range(rounds):
+        t0 = time.process_time()
+        sim = fn()
+        walls.append(time.process_time() - t0)
+        sums.add(checksum(sim))
+    if len(sums) != 1:
+        raise RuntimeError(
+            f"{name}: simulated metrics differed across rounds — the "
+            f"simulation is no longer deterministic: {sorted(sums)}")
+    entry = {
+        "wall_s": walls,
+        "wall_median_s": statistics.median(walls),
+        "sim": sim,
+        "checksum": sums.pop(),
+    }
+    if name == "engine_events":
+        entry["events_per_s"] = sim["events_executed"] / entry["wall_median_s"]
+    return entry
+
+
+def run_all(rounds: int, label: str) -> dict:
+    calib = statistics.median(calibrate() for _ in range(3))
+    report: dict = {
+        "schema": SCHEMA,
+        "label": label,
+        "rounds": rounds,
+        "calibration_s": calib,
+        "benchmarks": {},
+    }
+    for name in BENCHMARKS:
+        print(f"[bench] {name} ...", flush=True)
+        entry = run_benchmark(name, rounds)
+        entry["normalized"] = entry["wall_median_s"] / calib
+        report["benchmarks"][name] = entry
+        print(f"[bench] {name}: median {entry['wall_median_s']:.3f}s "
+              f"(normalized {entry['normalized']:.2f}) {entry['checksum'][:23]}",
+              flush=True)
+    return report
+
+
+# --------------------------------------------------------------------- #
+# regression check against a committed baseline
+# --------------------------------------------------------------------- #
+def compare(report: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable failures (empty = pass)."""
+    failures = []
+    if baseline.get("schema") != report["schema"]:
+        failures.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} vs "
+            f"current {report['schema']!r} — regenerate the baseline")
+        return failures
+    for name, base in baseline["benchmarks"].items():
+        cur = report["benchmarks"].get(name)
+        if cur is None:
+            failures.append(f"{name}: benchmark missing from current run")
+            continue
+        if cur["checksum"] != base["checksum"]:
+            failures.append(
+                f"{name}: simulated-metric checksum drifted "
+                f"({base['checksum'][:23]}… -> {cur['checksum'][:23]}…) — "
+                f"an optimization changed simulation results")
+        ratio = cur["normalized"] / base["normalized"]
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"{name}: {ratio:.2f}x the baseline normalized cost "
+                f"(limit {1.0 + tolerance:.2f}x)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("--out", default="BENCH_pr3.json",
+                   help="where to write the report (default: %(default)s)")
+    p.add_argument("--label", default="pr3", help="report label")
+    p.add_argument("--rounds", type=int, default=5,
+                   help="timed rounds per benchmark (default: %(default)s)")
+    p.add_argument("--check", metavar="BASELINE",
+                   help="baseline JSON to compare against; exit 1 on "
+                        ">tolerance regression or checksum drift")
+    p.add_argument("--tolerance", type=float, default=0.20,
+                   help="allowed fractional slowdown (default: %(default)s)")
+    args = p.parse_args(argv)
+
+    report = run_all(args.rounds, args.label)
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] wrote {args.out}")
+
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = compare(report, baseline, args.tolerance)
+        if failures:
+            print(f"[bench] PERF-SMOKE FAILED vs {args.check}:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print(f"[bench] perf-smoke OK vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

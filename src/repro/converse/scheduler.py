@@ -61,6 +61,11 @@ class PE:
         self.engine = runtime.engine
         self.rank = rank
         self.node = runtime.machine.node_of_pe(rank)
+        # hot-path caches: both are fixed at runtime construction, and
+        # charge()/_run_next() execute once per message
+        self._tracer = runtime.tracer
+        self._dispatch_cpu = runtime.config.sched_dispatch_cpu
+        self._handlers = runtime._handlers  # registry list, appended in place
         # execution state
         self._fifo: deque = deque()
         self._prioq: list = []
@@ -75,6 +80,10 @@ class PE:
         self.overhead_time = 0.0
         self.idle_since = 0.0
         self.idle_time = 0.0
+        #: most recent closed idle interval, for horizon truncation in
+        #: :meth:`utilization`
+        self._last_idle_start = 0.0
+        self._last_idle_end = 0.0
         self.messages_executed = 0
         #: per-PE scratch for machine layers / applications
         self.ctx: dict[str, Any] = {}
@@ -98,7 +107,7 @@ class PE:
             self.useful_time += dt
         else:
             self.overhead_time += dt
-        tracer = self.runtime.tracer
+        tracer = self._tracer
         if tracer is not None:
             tracer.record(self.rank, start, dt, kind)
 
@@ -177,7 +186,10 @@ class PE:
         if not self._fifo and not self._prioq:
             return
         self._scheduled = True
-        self.engine.call_at(max(self.engine.now, self.busy_until), self._run_next)
+        engine = self.engine
+        t = engine.now
+        bu = self.busy_until
+        engine.call_at(bu if bu > t else t, self._run_next)
 
     def _pop(self) -> tuple[Message, float]:
         if self._prioq:
@@ -196,14 +208,19 @@ class PE:
         t = self.engine.now
         if t > self.idle_since:
             self.idle_time += t - self.idle_since
-            if self.runtime.tracer is not None:
-                self.runtime.tracer.record(self.rank, self.idle_since,
-                                           t - self.idle_since, "idle")
+            self._last_idle_start = self.idle_since
+            self._last_idle_end = t
+            if self._tracer is not None:
+                self._tracer.record(self.rank, self.idle_since,
+                                    t - self.idle_since, "idle")
         self._running = True
         self.vtime = t
         # network receive processing + scheduler dispatch are overhead
-        self.charge(recv_cpu + self.runtime.config.sched_dispatch_cpu, "overhead")
-        handler = self.runtime.handler_fn(msg.handler)
+        self.charge(recv_cpu + self._dispatch_cpu, "overhead")
+        try:
+            handler = self._handlers[msg.handler]
+        except IndexError:
+            raise CharmError(f"unknown handler id {msg.handler}") from None
         try:
             handler(self, msg)
         finally:
@@ -221,11 +238,23 @@ class PE:
         return len(self._fifo) + len(self._prioq)
 
     def utilization(self, horizon: Optional[float] = None) -> dict[str, float]:
-        """Fractions of time spent useful / overhead / idle up to horizon."""
+        """Fractions of time spent useful / overhead / idle up to horizon.
+
+        With an explicit ``horizon``, accumulated idle time is truncated to
+        it: the portion of the most recent closed idle interval past the
+        horizon is subtracted exactly, and deeper horizons clamp idle to
+        the window (accumulated counters do not keep full interval history,
+        so fractions for horizons that far back are upper bounds).
+        """
         total = horizon if horizon is not None else self.engine.now
         if total <= 0:
             return {"useful": 0.0, "overhead": 0.0, "idle": 1.0}
-        idle = self.idle_time + max(0.0, total - max(self.idle_since, self.busy_until))
+        idle = self.idle_time
+        if horizon is not None:
+            if self._last_idle_end > total:
+                idle -= self._last_idle_end - max(total, self._last_idle_start)
+            idle = min(idle, total)
+        idle += max(0.0, total - max(self.idle_since, self.busy_until))
         return {
             "useful": self.useful_time / total,
             "overhead": self.overhead_time / total,
@@ -252,9 +281,9 @@ class ConverseRuntime:
         if not 1 <= n <= machine.n_pes:
             raise CharmError(
                 f"job wants {n} PEs but the machine has {machine.n_pes}")
-        self.pes = [PE(self, rank) for rank in range(n)]
         self._handlers: list[Callable[[PE, Message], None]] = []
         self._handler_ids: dict[Callable, int] = {}
+        self.pes = [PE(self, rank) for rank in range(n)]
         self.lrts = None  # attached via attach_lrts
         self.messages_sent = 0
 

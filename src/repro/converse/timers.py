@@ -30,7 +30,7 @@ class TimerService:
             raise CharmError(f"negative timer delay {delay}")
         handle = TimerHandle(self, pe_rank, fn)
         self.scheduled += 1
-        self.conv.engine.call_after(delay, self._enqueue, handle)
+        handle._ev = self.conv.engine.call_after(delay, self._enqueue, handle)
         return handle
 
     def call_periodic(self, period: float, pe_rank: int,
@@ -40,11 +40,15 @@ class TimerService:
             raise CharmError(f"periodic timer needs period > 0, got {period}")
         handle = TimerHandle(self, pe_rank, fn, period=period)
         self.scheduled += 1
-        self.conv.engine.call_after(period, self._enqueue, handle)
+        handle._ev = self.conv.engine.call_after(period, self._enqueue, handle)
         return handle
 
     # -- internals ------------------------------------------------------------
     def _enqueue(self, handle: "TimerHandle") -> None:
+        # the engine event has fired: drop the reference *before* anything
+        # else so a late cancel() cannot touch the (pooled, reusable)
+        # engine handle
+        handle._ev = None
         if handle.cancelled:
             return
         self.conv.pes[handle.pe_rank].enqueue(
@@ -58,13 +62,14 @@ class TimerService:
         self.fired += 1
         handle.fn(pe)
         if handle.period is not None and not handle.cancelled:
-            self.conv.engine.call_after(handle.period, self._enqueue, handle)
+            handle._ev = self.conv.engine.call_after(
+                handle.period, self._enqueue, handle)
 
 
 class TimerHandle:
     """Cancellable reference to a pending (or periodic) timer."""
 
-    __slots__ = ("service", "pe_rank", "fn", "period", "cancelled")
+    __slots__ = ("service", "pe_rank", "fn", "period", "cancelled", "_ev")
 
     def __init__(self, service: TimerService, pe_rank: int,
                  fn: Callable[[PE], None], period: Optional[float] = None):
@@ -73,6 +78,15 @@ class TimerHandle:
         self.fn = fn
         self.period = period
         self.cancelled = False
+        #: the pending engine event, when one exists (None once it fires)
+        self._ev = None
 
     def cancel(self) -> None:
         self.cancelled = True
+        ev = self._ev
+        if ev is not None:
+            # release the heap entry eagerly — retransmit timers are
+            # armed-and-cancelled on every reliable SMSG, and leaving them
+            # to lazy cancellation bloats the event heap
+            self._ev = None
+            ev.cancel()

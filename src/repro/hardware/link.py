@@ -107,16 +107,24 @@ class Link:
         the body serialization time (bounded below by ``min_occupancy`` to
         model per-message router overhead for tiny packets).
         """
-        lane = min(range(len(self._lanes)), key=self._lanes.__getitem__)
-        start = max(now, self._lanes[lane])
+        lanes = self._lanes
+        if len(lanes) == 1:
+            lane = 0
+            free = lanes[0]
+        else:
+            free = min(lanes)
+            lane = lanes.index(free)
+        start = free if free > now else now
         latency = self.latency
         if self.state == "up":
-            occupancy = max(nbytes / self.bandwidth, min_occupancy)
+            occupancy = nbytes / self.bandwidth
         else:
-            occupancy = max(nbytes / self.effective_bandwidth, min_occupancy)
+            occupancy = nbytes / self.effective_bandwidth
             latency += FAULT_LATENCY
             self.faulted_transfers += 1
-        self._lanes[lane] = start + occupancy
+        if occupancy < min_occupancy:
+            occupancy = min_occupancy
+        lanes[lane] = start + occupancy
         self.bytes_carried += nbytes
         self.transfers += 1
         return start, start + latency
@@ -129,7 +137,8 @@ class Link:
     @property
     def queue_depth(self) -> float:
         """Load signal used by adaptive routing (seconds of backlog)."""
-        return min(self._lanes)
+        lanes = self._lanes
+        return lanes[0] if len(lanes) == 1 else min(lanes)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Link {self.name} bw={self.bandwidth:.3g} busy_until={self.available_at:.9f}>"

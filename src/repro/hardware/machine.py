@@ -67,6 +67,10 @@ class Machine:
             node = Node(node_id, coord, self.config, nic)
             node.first_pe = node_id * cpn
             self.nodes.append(node)
+        #: flat PE -> Node table (hot path: every SMSG send does two lookups)
+        self._pe_node: list[Node] = [
+            self.nodes[pe // cpn] for pe in range(n_nodes * cpn)
+        ]
 
     # -- sizing ------------------------------------------------------------
     @property
@@ -75,13 +79,13 @@ class Machine:
 
     @property
     def n_pes(self) -> int:
-        return self.n_nodes * self.config.cores_per_node
+        return len(self._pe_node)
 
     # -- PE mapping ----------------------------------------------------------
     def node_of_pe(self, pe: int) -> Node:
-        if not 0 <= pe < self.n_pes:
-            raise TopologyError(f"PE {pe} outside machine of {self.n_pes} PEs")
-        return self.nodes[pe // self.config.cores_per_node]
+        if 0 <= pe < len(self._pe_node):
+            return self._pe_node[pe]
+        raise TopologyError(f"PE {pe} outside machine of {self.n_pes} PEs")
 
     def core_of_pe(self, pe: int) -> int:
         return pe % self.config.cores_per_node

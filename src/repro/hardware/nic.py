@@ -85,18 +85,20 @@ class GeminiNIC:
         executing ahead of the engine clock pass their vtime.
         """
         cfg = self.config
-        now = self.engine.now if at is None else at
+        engine = self.engine
+        now = engine.now if at is None else at
         cpu = cfg.smsg_send_cpu + nbytes / cfg.fma_put_bandwidth
         timing = self.network.transfer(
             now + cpu, self.coord, dst_coord, nbytes,
             bandwidth_cap=cfg.fma_put_bandwidth,
         )
         self.smsg_sent += 1
-        self.engine.call_at(timing.arrival, on_remote_data, timing.arrival)
+        arrival = timing.arrival
+        engine.call_at(arrival, on_remote_data, arrival)
         if on_local_cq is not None:
             # TX completion: header ack returns
-            t_cq = timing.arrival + cfg.nic_latency
-            self.engine.call_at(t_cq, on_local_cq, t_cq)
+            t_cq = arrival + cfg.nic_latency
+            engine.call_at(t_cq, on_local_cq, t_cq)
         return cpu
 
     # ------------------------------------------------------------------ #

@@ -49,6 +49,12 @@ class TorusNetwork:
         self._links: dict[tuple[Coord, Coord], Link] = {}
         self._inject: dict[Coord, Link] = {}
         self._eject: dict[Coord, Link] = {}
+        #: (at, dst) -> (next_coord, link) for hops whose direction choice
+        #: is deterministic (single minimal direction, or dimension-ordered
+        #: mode); adaptive multi-direction hops and fault-avoidance are
+        #: load-dependent and never cached.  Link objects are stable — a
+        #: fault mutates the Link in place — so cached entries stay valid.
+        self._hop1: dict[tuple[Coord, Coord], tuple[Coord, Link]] = {}
         #: total messages routed (diagnostics)
         self.messages_routed = 0
         #: links currently marked down/degraded (fault-injection state)
@@ -112,24 +118,22 @@ class TorusNetwork:
 
     # -- routing ---------------------------------------------------------------
     def _next_direction(self, at: Coord, dst: Coord) -> Coord:
-        dirs = self.topology.minimal_directions(at, dst)
+        topo = self.topology
+        dirs = topo.minimal_directions(at, dst)
         if self._faulted:
             # degraded mode: dimension order, stepping around a down link
             # when another productive direction is still up
             for d in dirs:
-                nxt = self.topology.wrap((at[0] + d[0], at[1] + d[1], at[2] + d[2]))
-                if self.link(at, nxt).state != "down":
+                if self.link(at, topo.neighbor(at, d)).state != "down":
                     return d
             return dirs[0]
         if len(dirs) == 1 or not self.config.adaptive_routing:
             return dirs[0]
         # adaptive: least-backlogged outgoing productive link
         best = dirs[0]
-        best_load = self.link(at, self.topology.wrap(
-            (at[0] + best[0], at[1] + best[1], at[2] + best[2]))).queue_depth
+        best_load = self.link(at, topo.neighbor(at, best)).queue_depth
         for d in dirs[1:]:
-            nxt = self.topology.wrap((at[0] + d[0], at[1] + d[1], at[2] + d[2]))
-            load = self.link(at, nxt).queue_depth
+            load = self.link(at, topo.neighbor(at, d)).queue_depth
             if load < best_load:
                 best, best_load = d, load
         return best
@@ -157,25 +161,54 @@ class TorusNetwork:
         self.messages_routed += 1
 
         # injection at the source NIC
-        _, t = self.injection_port(src).reserve(now, nbytes, min_occ)
+        inj = self._inject.get(src)
+        if inj is None:
+            inj = self.injection_port(src)
+        _, t = inj.reserve(now, nbytes, min_occ)
         depart = t
 
         hops = 0
         at = src
+        topo = self.topology
+        links = self._links
+        faulted = self._faulted
+        adaptive = cfg.adaptive_routing
+        hop1 = self._hop1
         while at != dst:
-            d = self._next_direction(at, dst)
-            nxt = self.topology.wrap((at[0] + d[0], at[1] + d[1], at[2] + d[2]))
-            _, t = self.link(at, nxt).reserve(t, nbytes, min_occ)
+            if not faulted:
+                hop = hop1.get((at, dst))
+                if hop is not None:
+                    nxt, lk = hop
+                    _, t = lk.reserve(t, nbytes, min_occ)
+                    at = nxt
+                    hops += 1
+                    continue
+            dirs = topo.minimal_directions(at, dst)
+            deterministic = not adaptive or len(dirs) == 1
+            if not faulted and deterministic:
+                d = dirs[0]
+            else:
+                d = self._next_direction(at, dst)
+            nxt = topo.neighbor(at, d)
+            lk = links.get((at, nxt))
+            if lk is None:
+                lk = self.link(at, nxt)
+            if not faulted and deterministic:
+                hop1[(at, dst)] = (nxt, lk)
+            _, t = lk.reserve(t, nbytes, min_occ)
             at = nxt
             hops += 1
 
         # ejection into the destination NIC
-        _, t = self.ejection_port(dst).reserve(t, nbytes, min_occ)
+        ej = self._eject.get(dst)
+        if ej is None:
+            ej = self.ejection_port(dst)
+        _, t = ej.reserve(t, nbytes, min_occ)
         head_arrival = t
 
         path_bw = cfg.link_bandwidth
-        if bandwidth_cap is not None:
-            path_bw = min(path_bw, bandwidth_cap)
+        if bandwidth_cap is not None and bandwidth_cap < path_bw:
+            path_bw = bandwidth_cap
         arrival = head_arrival + nbytes / path_bw
         return TransferTiming(depart, head_arrival, arrival, hops)
 

@@ -67,6 +67,10 @@ class Torus3D:
         if len(dims) != 3 or any(d < 1 for d in dims):
             raise TopologyError(f"invalid torus dims {dims!r}")
         self.dims: Coord = (int(dims[0]), int(dims[1]), int(dims[2]))
+        # hot-path caches: the topology is immutable, so minimal-direction
+        # sets and wrapped neighbors are pure functions of their arguments
+        self._min_dirs: dict[tuple[Coord, Coord], list[Coord]] = {}
+        self._nbr: dict[tuple[Coord, Coord], Coord] = {}
 
     @classmethod
     def for_nodes(cls, n_nodes: int) -> "Torus3D":
@@ -103,6 +107,16 @@ class Torus3D:
         for d in self.DIRECTIONS:
             yield d, self.wrap((coord[0] + d[0], coord[1] + d[1], coord[2] + d[2]))
 
+    def neighbor(self, at: Coord, d: Coord) -> Coord:
+        """Wrapped coordinate one step from ``at`` in direction ``d`` (cached)."""
+        key = (at, d)
+        nxt = self._nbr.get(key)
+        if nxt is None:
+            dx, dy, dz = self.dims
+            nxt = ((at[0] + d[0]) % dx, (at[1] + d[1]) % dy, (at[2] + d[2]) % dz)
+            self._nbr[key] = nxt
+        return nxt
+
     def _axis_step(self, src: int, dst: int, size: int) -> int:
         """Shortest-wrap step (-1, 0, +1) along one axis; ties go +1."""
         if src == dst:
@@ -129,7 +143,11 @@ class Torus3D:
         are offered — important on small tori, where dimension-2 axes
         would otherwise leave half their links idle.
         """
-        dirs: list[Coord] = []
+        key = (at, dst)
+        dirs = self._min_dirs.get(key)
+        if dirs is not None:
+            return dirs
+        dirs = []
         for axis in range(3):
             size = self.dims[axis]
             src_c, dst_c = at[axis], dst[axis]
@@ -143,6 +161,7 @@ class Torus3D:
                 d = [0, 0, 0]
                 d[axis] = step
                 dirs.append(tuple(d))  # type: ignore[arg-type]
+        self._min_dirs[key] = dirs
         return dirs
 
     def route(self, src: Coord, dst: Coord) -> list[tuple[Coord, Coord]]:

@@ -41,7 +41,7 @@ from repro.lrts.ugni_layer.reliability import (
     ReliabilityMixin,
     _RelPacket,
 )
-from repro.lrts.ugni_layer.rendezvous import RendezvousMixin
+from repro.lrts.ugni_layer.rendezvous import RNDV_FAIL_TAG, RendezvousMixin
 from repro.memory.mempool import MemoryPool
 from repro.memory.pxshm import PxshmFabric
 from repro.ugni.api import GniJob
@@ -60,6 +60,7 @@ _TAG_STEPS = {
     PERSIST_READY_TAG: "persist_ready",
     PERSIST_TEARDOWN_TAG: "persist_teardown",
     REL_ACK_TAG: "rel_ack",
+    RNDV_FAIL_TAG: "rndv_fail",
 }
 
 
@@ -76,6 +77,11 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
         self.cfg = machine.config
         self.lcfg = layer_config or UgniLayerConfig()
         self.gni = GniJob(machine)
+        #: hot-path caches (the fabrics and the small/rendezvous cutoff are
+        #: fixed for the life of the job; chasing ``self.gni.smsg...`` per
+        #: message costs two attribute loads per send)
+        self._smsg = self.gni.smsg
+        self._small_cutoff = self._small_max()
         self._pools: dict[int, MemoryPool] = {}
         self._persistent: dict[int, PersistentHandle] = {}
         #: sends blocked on SMSG credits, per (src_rank, dst_rank)
@@ -93,9 +99,16 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
         self.rel_duplicates = 0
         self.rel_acks = 0
         self.rel_failed = 0
+        self.rel_window_peak = 0
+        self.rel_window_skips = 0
         self.post_retries = 0
         self.post_failures = 0
         self.persistent_rearms = 0
+        #: rendezvous transfers abandoned after exhausting post retries
+        #: (both sides' buffers were reclaimed; the message was lost)
+        self.rndv_failed = 0
+        #: persistent-channel sends abandoned after exhausting post retries
+        self.persistent_failed = 0
 
     # ------------------------------------------------------------------ #
     # LrtsInit
@@ -105,6 +118,27 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
         self.pxshm = PxshmFabric(
             self.machine, single_copy=(self.lcfg.intranode == "pxshm_single"))
         self._proto_hid = self.conv.register_handler(self._proto_handler)
+        #: protocol-step dispatch table (replaces a long if/elif chain on
+        #: the receive hot path)
+        self._steps = {
+            "init": self._on_init_tag,
+            "ack": self._on_ack_tag,
+            "get_done": self._on_get_done,
+            "put_req": self._on_put_req,
+            "put_cts": self._on_put_cts,
+            "put_done_local": self._on_put_done_local,
+            "put_done": self._on_put_done,
+            "persistent": self._on_persistent_tag,
+            "persist_setup": self._on_persist_setup,
+            "persist_ready": self._on_persist_ready,
+            "persist_done": self._on_persist_done,
+            "persist_teardown": self._on_persist_teardown,
+            "flush_pending": self._flush_pending,
+            "rel_rx": self._on_rel_rx,
+            "rel_ack": self._on_rel_ack,
+            "rndv_fail": self._on_rndv_fail,
+            "post_failed": self._on_post_failed,
+        }
         if self.lcfg.reliability:
             self._rel_setup()
 
@@ -141,7 +175,7 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
             self.intranode_sent += 1
             self._send_intranode(src_pe, dst_rank, msg)
             return
-        if total <= self._small_max():
+        if total <= self._small_cutoff:
             self.small_sent += 1
             self._send_small(src_pe, dst_rank, msg, total)
             return
@@ -187,8 +221,8 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
             pending.append((tag, nbytes, payload))
             return
         try:
-            cpu = self.gni.smsg.send(pe.rank, dst_rank, tag, nbytes,
-                                     payload=payload, at=pe.vtime)
+            cpu = self._smsg.send(pe.rank, dst_rank, tag, nbytes,
+                                  payload=payload, at=pe.vtime)
             pe.charge(cpu, "overhead")
         except UgniNoSpace:
             q = self._pending.setdefault(key, deque())
@@ -216,8 +250,8 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
         while q:
             tag, nbytes, payload = q[0]
             try:
-                cpu = self.gni.smsg.send(pe.rank, dst_rank, tag, nbytes,
-                                         payload=payload, at=pe.vtime)
+                cpu = self._smsg.send(pe.rank, dst_rank, tag, nbytes,
+                                      payload=payload, at=pe.vtime)
             except UgniNoSpace:
                 self._schedule_flush(pe.rank, dst_rank, pe.vtime)
                 return
@@ -232,34 +266,45 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
         if rank in self._hooked_rx:
             return
         self._hooked_rx.add(rank)
-        cq = self.gni.smsg.rx_cq(rank)
-        cq.on_event = lambda _cq, rank=rank: self._on_smsg_event(rank)
+        cq = self._smsg.rx_cq(rank)
+        cq.on_event = lambda _cq, rank=rank, cq=cq: self._on_smsg_event(rank, cq)
 
-    def _on_smsg_event(self, rank: int) -> None:
-        smsg_msg, recv_cpu = self.gni.smsg.get_next(rank)
-        if smsg_msg is None:
-            # the event was a CQ overrun marker / error entry, not a message
-            return
+    def _on_smsg_event(self, rank: int, cq: CompletionQueue) -> None:
+        """Drain every message currently in this PE's RX CQ.
+
+        Normally one notify delivers one message, but batching the poll
+        here keeps the dispatch loop tight (hoisted lookups) and absorbs
+        bursts — e.g. entries queued behind an overrun marker — in a single
+        pass instead of one notify round-trip each.
+        """
+        smsg = self._smsg
         pe = self.conv.pes[rank]
-        if isinstance(smsg_msg.payload, _RelPacket):
-            # dedupe + ack must run in PE context (the ack charges pe.vtime)
-            pe.enqueue(
-                Message(handler=self._proto_hid, src_pe=smsg_msg.src_pe,
-                        dst_pe=rank, nbytes=0,
-                        payload=("rel_rx", smsg_msg.payload)),
-                recv_cpu,
-            )
-            return
-        if smsg_msg.tag == CHARM_SMALL_TAG:
-            self.delivered += 1
-            pe.enqueue(smsg_msg.payload, recv_cpu)
-            return
-        step = _TAG_STEPS[smsg_msg.tag]
-        pe.enqueue(
-            Message(handler=self._proto_hid, src_pe=smsg_msg.src_pe, dst_pe=rank,
-                    nbytes=0, payload=(step, smsg_msg.payload)),
-            recv_cpu,
-        )
+        proto_hid = self._proto_hid
+        while True:
+            smsg_msg, recv_cpu = smsg.get_next(rank)
+            if smsg_msg is None:
+                # the event was a CQ overrun marker / error entry, not a message
+                return
+            if isinstance(smsg_msg.payload, _RelPacket):
+                # dedupe + ack must run in PE context (the ack charges pe.vtime)
+                pe.enqueue(
+                    Message(handler=proto_hid, src_pe=smsg_msg.src_pe,
+                            dst_pe=rank, nbytes=0,
+                            payload=("rel_rx", smsg_msg.payload)),
+                    recv_cpu,
+                )
+            elif smsg_msg.tag == CHARM_SMALL_TAG:
+                self.delivered += 1
+                pe.enqueue(smsg_msg.payload, recv_cpu)
+            else:
+                pe.enqueue(
+                    Message(handler=proto_hid, src_pe=smsg_msg.src_pe,
+                            dst_pe=rank, nbytes=0,
+                            payload=(_TAG_STEPS[smsg_msg.tag], smsg_msg.payload)),
+                    recv_cpu,
+                )
+            if not cq:
+                return
 
     def _ensure_msgq_hooked(self, rank: int) -> None:
         node = self.machine.node_of_pe(rank)
@@ -287,38 +332,11 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
         return _TAG_STEPS[tag]
 
     def _dispatch_step(self, pe: PE, step: str, state: Any) -> None:
-        if step == "init":
-            self._on_init_tag(pe, state)
-        elif step == "ack":
-            self._on_ack_tag(pe, state)
-        elif step == "get_done":
-            self._on_get_done(pe, state)
-        elif step == "put_req":
-            self._on_put_req(pe, state)
-        elif step == "put_cts":
-            self._on_put_cts(pe, state)
-        elif step == "put_done_local":
-            self._on_put_done_local(pe, state)
-        elif step == "put_done":
-            self._on_put_done(pe, state)
-        elif step == "persistent":
-            self._on_persistent_tag(pe, state)
-        elif step == "persist_setup":
-            self._on_persist_setup(pe, state)
-        elif step == "persist_ready":
-            self._on_persist_ready(pe, state)
-        elif step == "persist_done":
-            self._on_persist_done(pe, state)
-        elif step == "persist_teardown":
-            self._on_persist_teardown(pe, state)
-        elif step == "flush_pending":
-            self._flush_pending(pe, state)
-        elif step == "rel_rx":
-            self._on_rel_rx(pe, state)
-        elif step == "rel_ack":
-            self._on_rel_ack(pe, state)
-        else:  # pragma: no cover - defensive
-            raise LrtsError(f"unknown protocol step {step!r}")
+        try:
+            fn = self._steps[step]
+        except KeyError:  # pragma: no cover - defensive
+            raise LrtsError(f"unknown protocol step {step!r}") from None
+        fn(pe, state)
 
     # ------------------------------------------------------------------ #
     # Post-completion plumbing
@@ -368,8 +386,12 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
             rel_duplicates=self.rel_duplicates,
             rel_acks=self.rel_acks,
             rel_failed=self.rel_failed,
+            rel_window_peak=self.rel_window_peak,
+            rel_window_skips=self.rel_window_skips,
             post_retries=self.post_retries,
             post_failures=self.post_failures,
             persistent_rearms=self.persistent_rearms,
+            rndv_failed=self.rndv_failed,
+            persistent_failed=self.persistent_failed,
         )
         return s

@@ -125,11 +125,20 @@ class PersistentMixin:
                 recv_cpu=self.cfg.cq_event_cpu,
             )
 
+        def on_failed(pe2: PE, exc: Exception) -> None:
+            # this send is lost, but the channel's pinned buffers persist
+            # (re-armed by the retry path) and later sends still work —
+            # count the abandonment so the application can see it
+            self.persistent_failed += 1
+            self._rel_trace("persist_send_failed", where=pe2.rank,
+                            channel=handle.id)
+
         # guarded with re-arm: a failed PUT deregisters + re-registers the
         # pinned send window before the retry (its state is undefined)
         self._post_guarded(
             pe, desc, on_done,
-            rearm=lambda pe2, d, handle=handle: self._persist_rearm(pe2, handle, d))
+            rearm=lambda pe2, d, handle=handle: self._persist_rearm(pe2, handle, d),
+            on_failed=on_failed)
 
     def _on_persist_done(self, pe: PE, payload) -> None:
         handle, msg = payload

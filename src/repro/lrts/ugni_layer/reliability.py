@@ -33,8 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.converse.scheduler import PE
+from repro.converse.scheduler import Message, PE
 from repro.converse.timers import TimerService
+from repro.errors import UgniTransactionError
 from repro.lrts.messages import CHARM_SMALL_TAG, CONTROL_BYTES
 
 #: smsg tag for delivery acknowledgements (never wrapped, never retried:
@@ -52,6 +53,12 @@ class _RelPacket:
     #: the wrapped message's original smsg tag
     tag: int
     payload: Any
+    #: precomputed ``(src, dst, seq)`` — the ack payload and the tx-table
+    #: key.  Built once at wrap time so the retransmit and receive paths
+    #: never rebuild the tuple.
+    key: tuple = None
+    #: precomputed ``(src, dst)`` connection pair for receiver-side dedup
+    pair: tuple = None
 
 
 @dataclass
@@ -62,6 +69,57 @@ class _RelTx:
     nbytes: int
     attempts: int = 1
     timer: Any = None
+
+
+class _RelRx:
+    """Receiver-side dedup state for one ``(src, dst)`` pair.
+
+    A cumulative-ack watermark plus a small out-of-order window: every
+    sequence number ``<= watermark`` has been delivered, and ``window``
+    holds only the delivered seqs above it (gaps from loss/reordering).
+    Membership (``seq <= watermark or seq in window``) is exactly
+    equivalent to the old grow-forever seen-set, but memory stays
+    O(reordering depth) instead of O(messages ever received).
+    """
+
+    __slots__ = ("watermark", "window")
+
+    def __init__(self) -> None:
+        self.watermark = -1
+        self.window: set[int] = set()
+
+    def seen(self, seq: int) -> bool:
+        return seq <= self.watermark or seq in self.window
+
+    def mark(self, seq: int) -> None:
+        window = self.window
+        window.add(seq)
+        mark = self.watermark
+        while mark + 1 in window:
+            mark += 1
+            window.discard(mark)
+        self.watermark = mark
+
+    def force_advance(self, cap: int) -> int:
+        """Skip gaps until the window fits ``cap``; returns seqs skipped.
+
+        A gap that keeps the window above ``cap`` can only be a sequence
+        number its sender permanently abandoned (give-up after
+        ``max_retries``) — no further copy will ever arrive, so skipping it
+        is safe.  A straggler copy of a skipped seq (e.g. one stalled in
+        the fabric when the sender gave up) is treated as a duplicate,
+        which keeps the failure the sender already reported consistent.
+        """
+        skipped = 0
+        window = self.window
+        while len(window) > cap:
+            mark = self.watermark + 1
+            skipped += 1
+            while mark + 1 in window:
+                mark += 1
+                window.discard(mark)
+            self.watermark = mark
+        return skipped
 
 
 class ReliabilityMixin:
@@ -76,8 +134,13 @@ class ReliabilityMixin:
         self._rel_next_seq: dict[tuple[int, int], int] = {}
         #: unacked packets: (src, dst, seq) -> record
         self._rel_tx: dict[tuple[int, int, int], _RelTx] = {}
-        #: receiver-side duplicate suppression: (src, dst) -> seen seqs
-        self._rel_seen: dict[tuple[int, int], set[int]] = {}
+        #: receiver-side duplicate suppression: (src, dst) -> watermark +
+        #: out-of-order window (bounded; see :class:`_RelRx`)
+        self._rel_seen: dict[tuple[int, int], _RelRx] = {}
+        #: largest out-of-order window observed across all pairs
+        self.rel_window_peak = 0
+        #: abandoned-seq gaps skipped by watermark force-advance
+        self.rel_window_skips = 0
 
     def _rel_trace(self, event: str, where: Any = None, **detail: Any) -> None:
         trace = self.machine.trace
@@ -96,12 +159,13 @@ class ReliabilityMixin:
     def _rel_wrap(self, pe: PE, dst_rank: int, tag: int, nbytes: int,
                   payload: Any) -> _RelPacket:
         """Assign a sequence number and arm the retransmit timer."""
-        key = (pe.rank, dst_rank)
-        seq = self._rel_next_seq.get(key, 0)
-        self._rel_next_seq[key] = seq + 1
-        pkt = _RelPacket(seq, pe.rank, dst_rank, tag, payload)
+        pair = (pe.rank, dst_rank)
+        seq = self._rel_next_seq.get(pair, 0)
+        self._rel_next_seq[pair] = seq + 1
+        pkt = _RelPacket(seq, pe.rank, dst_rank, tag, payload,
+                         key=(pe.rank, dst_rank, seq), pair=pair)
         rec = _RelTx(pkt, nbytes)
-        self._rel_tx[(pe.rank, dst_rank, seq)] = rec
+        self._rel_tx[pkt.key] = rec
         self._rel_arm_timer(rec)
         return pkt
 
@@ -112,18 +176,18 @@ class ReliabilityMixin:
 
     def _rel_retry(self, pe: PE, rec: _RelTx) -> None:
         pkt = rec.pkt
-        key = (pkt.src, pkt.dst, pkt.seq)
+        key = pkt.key
         if key not in self._rel_tx:
             return  # acked while the timer was in flight
         if rec.attempts >= self.lcfg.max_retries:
             del self._rel_tx[key]
             self.rel_failed += 1
-            self._rel_trace("give_up", where=(pkt.src, pkt.dst),
+            self._rel_trace("give_up", where=pkt.pair,
                             seq=pkt.seq, attempts=rec.attempts)
             return
         rec.attempts += 1
         self.rel_retransmits += 1
-        self._rel_trace("retransmit", where=(pkt.src, pkt.dst),
+        self._rel_trace("retransmit", where=pkt.pair,
                         seq=pkt.seq, attempt=rec.attempts)
         self._smsg_push(pe, pkt.dst, pkt.tag, rec.nbytes, pkt)
         self._rel_arm_timer(rec)
@@ -139,15 +203,22 @@ class ReliabilityMixin:
         """Receiver PE: ack, deduplicate, then dispatch the inner message."""
         # ack every copy — the ack for an earlier copy may itself be lost
         self.rel_acks += 1
-        self._smsg_push(pe, pkt.src, REL_ACK_TAG, CONTROL_BYTES,
-                        (pkt.src, pkt.dst, pkt.seq))
-        seen = self._rel_seen.setdefault((pkt.src, pkt.dst), set())
-        if pkt.seq in seen:
+        self._smsg_push(pe, pkt.src, REL_ACK_TAG, CONTROL_BYTES, pkt.key)
+        rx = self._rel_seen.get(pkt.pair)
+        if rx is None:
+            rx = self._rel_seen[pkt.pair] = _RelRx()
+        if rx.seen(pkt.seq):
             self.rel_duplicates += 1
-            self._rel_trace("duplicate_dropped", where=(pkt.src, pkt.dst),
-                            seq=pkt.seq)
+            self._rel_trace("duplicate_dropped", where=pkt.pair, seq=pkt.seq)
             return
-        seen.add(pkt.seq)
+        rx.mark(pkt.seq)
+        if len(rx.window) > self.rel_window_peak:
+            self.rel_window_peak = len(rx.window)
+        if len(rx.window) > self.lcfg.rel_window_cap:
+            skipped = rx.force_advance(self.lcfg.rel_window_cap)
+            self.rel_window_skips += skipped
+            self._rel_trace("window_skip", where=pkt.pair, skipped=skipped,
+                            watermark=rx.watermark)
         if pkt.tag == CHARM_SMALL_TAG:
             self.deliver(pe.rank, pkt.payload, recv_cpu=0.0)
         else:
@@ -155,7 +226,9 @@ class ReliabilityMixin:
 
     # -- guarded FMA/BTE posts ------------------------------------------------
     def _post_guarded(self, pe: PE, desc, on_done: Callable[[float], None],
-                      rearm: Optional[Callable[[PE, Any], None]] = None) -> None:
+                      rearm: Optional[Callable[[PE, Any], None]] = None,
+                      on_failed: Optional[Callable[[PE, Exception], None]] = None,
+                      ) -> None:
         """Post ``desc``, retrying on ``ERROR`` completions when enabled.
 
         Without reliability this is exactly the historical
@@ -163,6 +236,14 @@ class ReliabilityMixin:
         completion then raises :class:`UgniTransactionError`).  With it,
         each error re-posts after backoff, running ``rearm`` first when
         given (persistent channels re-register their send window).
+
+        When retries are exhausted the post is abandoned: ``post_failures``
+        is bumped and ``on_failed(pe, exc)`` runs in PE scheduler context
+        with a :class:`UgniTransactionError` describing the give-up, so the
+        initiating protocol step can release buffers and notify its peer
+        instead of leaking a waiter that never completes.  Passing
+        ``on_failed=None`` means the caller has no state to reclaim; the
+        abandonment is still counted and traced.
         """
         if not self._rel_on:
             self._await_post(desc, on_done)
@@ -184,6 +265,14 @@ class ReliabilityMixin:
                 self.post_failures += 1
                 self._rel_trace("post_give_up", where=pe.rank,
                                 desc=desc.id, attempts=attempts[0])
+                if on_failed is not None:
+                    exc = UgniTransactionError(
+                        f"post {desc.id} abandoned after "
+                        f"{self.lcfg.max_retries} retries"
+                    )
+                    # the upcall must run in PE context (it charges time and
+                    # sends control messages), not in this CQ callback
+                    self._post_failed_upcall(pe, on_failed, exc)
                 return
             self.post_retries += 1
             self._rel_trace("post_retry", where=pe.rank,
@@ -194,6 +283,19 @@ class ReliabilityMixin:
         self._await_post(desc, on_done, on_error=on_error)
         cpu = self.gni.rdma.post_best(pe.node.node_id, desc, at=pe.vtime)
         pe.charge(cpu, "overhead")
+
+    def _post_failed_upcall(self, pe: PE,
+                            on_failed: Callable[[PE, Exception], None],
+                            exc: Exception) -> None:
+        pe.enqueue(
+            Message(handler=self._proto_hid, src_pe=pe.rank, dst_pe=pe.rank,
+                    nbytes=0, payload=("post_failed", (on_failed, exc))),
+            recv_cpu=self.cfg.cq_event_cpu,
+        )
+
+    def _on_post_failed(self, pe: PE, payload) -> None:
+        on_failed, exc = payload
+        on_failed(pe, exc)
 
     def _persist_rearm(self, pe: PE, handle, desc) -> None:
         """Re-register a persistent channel's send window after a failed PUT."""

@@ -46,6 +46,11 @@ from repro.lrts.messages import (
 from repro.ugni.rdma import PostDescriptor
 from repro.ugni.types import PostType
 
+#: control tag announcing a permanently-failed rendezvous transfer: the
+#: side whose FMA/BTE post was abandoned sends it so the peer can reclaim
+#: its buffer instead of waiting forever (reliability give-up path)
+RNDV_FAIL_TAG = 46
+
 
 @dataclass
 class _Rndv:
@@ -124,8 +129,18 @@ class RendezvousMixin:
                 recv_cpu=self.cfg.cq_event_cpu,
             )
 
+        def on_failed(pe2: PE, exc: Exception) -> None:
+            # GET abandoned: reclaim the recv buffer and tell the sender to
+            # reclaim its own (the message is lost, but nothing leaks and
+            # nobody hangs)
+            self.rndv_failed += 1
+            self._release_buffer(pe2, state.dst_block, state.dst_handle,
+                                 state.dst_pooled)
+            state.dst_block = state.dst_handle = None
+            self._smsg_control(pe2, state.msg.src_pe, RNDV_FAIL_TAG, state)
+
         # guarded: a fault-injected transaction error re-posts the GET
-        self._post_guarded(pe, desc, on_done)
+        self._post_guarded(pe, desc, on_done, on_failed=on_failed)
 
     def _on_get_done(self, pe: PE, state: _Rndv) -> None:
         """Receiver: data landed — ACK the sender, deliver to Converse."""
@@ -164,7 +179,16 @@ class RendezvousMixin:
                 recv_cpu=self.cfg.cq_event_cpu,
             )
 
-        self._post_guarded(pe, desc, on_done)
+        def on_failed(pe2: PE, exc: Exception) -> None:
+            # PUT abandoned: reclaim the send buffer and tell the receiver
+            # to reclaim the one it advertised in the CTS
+            self.rndv_failed += 1
+            self._release_buffer(pe2, state.src_block, state.src_handle,
+                                 state.src_pooled)
+            state.src_block = state.src_handle = None
+            self._smsg_control(pe2, state.msg.dst_pe, RNDV_FAIL_TAG, state)
+
+        self._post_guarded(pe, desc, on_done, on_failed=on_failed)
 
     def _on_put_done_local(self, pe: PE, state: _Rndv) -> None:
         """Sender: PUT completed locally — free and notify the receiver."""
@@ -175,6 +199,24 @@ class RendezvousMixin:
         """Receiver: data landed — deliver."""
         self._release_buffer(pe, state.dst_block, state.dst_handle, state.dst_pooled)
         self.deliver(pe.rank, state.msg, recv_cpu=0.0)
+
+    # -- give-up cleanup (reliability's post-abandonment path) ---------------------
+    def _on_rndv_fail(self, pe: PE, state: _Rndv) -> None:
+        """The peer's FMA/BTE post was abandoned: reclaim this side's buffer.
+
+        Runs on the sender after a failed GET (its INIT pinned ``src``) or
+        on the receiver after a failed PUT (its CTS pinned ``dst``); the
+        failing side already reclaimed its own buffer before sending
+        :data:`RNDV_FAIL_TAG`.
+        """
+        if state.src_block is not None and pe.rank == state.msg.src_pe:
+            self._release_buffer(pe, state.src_block, state.src_handle,
+                                 state.src_pooled)
+            state.src_block = state.src_handle = None
+        if state.dst_block is not None and pe.rank == state.msg.dst_pe:
+            self._release_buffer(pe, state.dst_block, state.dst_handle,
+                                 state.dst_pooled)
+            state.dst_block = state.dst_handle = None
 
     # -- tag dispatch used by the main layer ---------------------------------------
     _RNDV_DISPATCH = {

@@ -13,6 +13,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.errors import MpiError
 from repro.hardware.machine import Machine
+from repro.hardware.nic import TransferKind
 from repro.mpish.matching import ANY, Arrival, MatchEngine
 from repro.mpish.request import MpiRequest
 from repro.mpish.udreg import UdregCache
@@ -266,8 +267,6 @@ class MpiWorld:
         dst_node = self.machine.node_of_pe(req.dst)
         src_node = self.machine.nodes[info.src_node]
         start = t + pre_cpu + reg_cpu
-        from repro.hardware.nic import TransferKind
-
         if arr.nbytes + MPI_HEADER <= cfg.mpi_rndv_fma_max:
             kind = TransferKind.FMA_GET
         else:

@@ -6,6 +6,21 @@ sequence number breaks ties), so a given program + seed always produces the
 same trace.  This determinism is load-bearing — the paper-reproduction
 benchmarks assert on simulated metrics, and the test suite asserts exact
 replay equality.
+
+Hot-path notes (this module executes millions of times per benchmark):
+
+* Heap entries are plain ``(time, seq, handle)`` tuples.  ``seq`` is unique,
+  so comparisons resolve in C on the first two fields and never reach the
+  handle — no Python-level ``__lt__`` per sift step.
+* :class:`EventHandle` objects are pooled.  A handle is *live* from the
+  ``call_at`` that returned it until its callback runs (or until a
+  cancelled entry is reaped); after that the engine may reuse the object
+  for a future event.  Cancel a handle only while its event is pending.
+* Cancellation stays lazy (O(1)), but the engine counts cancelled entries
+  still parked in the heap and compacts when they dominate — protocol
+  timeouts are armed and almost always cancelled, and without compaction
+  those dead entries would pay ``log n`` on every push/pop for the rest of
+  the run.
 """
 
 from __future__ import annotations
@@ -16,6 +31,15 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import SimulationError
 
+_INF = math.inf
+
+#: keep at most this many retired handles for reuse
+_POOL_MAX = 1024
+#: compact only when the heap has at least this many cancelled entries ...
+_COMPACT_MIN = 64
+#: ... and they exceed this fraction of all entries
+_COMPACT_RATIO = 0.5
+
 
 class EventHandle:
     """Handle for a scheduled callback; supports :meth:`cancel`.
@@ -23,11 +47,18 @@ class EventHandle:
     Cancellation is lazy: the heap entry stays in place and is skipped when
     popped.  This keeps ``cancel`` O(1), which matters because protocol
     timeouts are frequently armed and almost always cancelled.
+
+    Handles are pooled: once the callback has run (or a cancelled entry has
+    been reaped from the heap) the engine may reuse this object for an
+    unrelated future event, so hold a handle — and call :meth:`cancel` —
+    only while its event is still pending.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("engine", "time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, engine: "Engine", time: float, seq: int,
+                 fn: Callable, args: tuple):
+        self.engine = engine
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -36,11 +67,18 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled-but-not-yet-popped entries do not
         # pin large payloads in memory.
         self.fn = _noop
         self.args = ()
+        eng = self.engine
+        eng._cancelled += 1
+        if (eng._cancelled >= _COMPACT_MIN
+                and eng._cancelled > _COMPACT_RATIO * len(eng._heap)):
+            eng._compact()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -67,10 +105,16 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[EventHandle] = []
+        #: entries are (time, seq, EventHandle); seq is unique so tuple
+        #: comparison never reaches the handle
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
+        #: cancelled entries still parked in the heap
+        self._cancelled = 0
+        #: retired handles available for reuse
+        self._pool: list[EventHandle] = []
         #: number of callbacks actually executed (diagnostics / tests)
         self.events_executed = 0
 
@@ -81,6 +125,31 @@ class Engine:
         return self._now
 
     # -- scheduling ---------------------------------------------------------
+    def _push(self, time: float, fn: Callable, args: tuple) -> EventHandle:
+        """Arm one event; validation is the caller's job."""
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(self, time, seq, fn, args)
+        heapq.heappush(self._heap, (time, seq, handle))
+        return handle
+
+    def _retire(self, handle: EventHandle) -> None:
+        """Return a spent handle to the pool (drop payload references)."""
+        handle.fn = _noop
+        handle.args = ()
+        pool = self._pool
+        if len(pool) < _POOL_MAX:
+            pool.append(handle)
+
     def call_at(self, time: float, fn: Callable, *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
         if time < self._now:
@@ -89,20 +158,25 @@ class Engine:
             )
         if not math.isfinite(time):
             raise SimulationError(f"non-finite event time {time!r}")
-        handle = EventHandle(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
-        return handle
+        return self._push(time, fn, args)
 
     def call_after(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
-        """Schedule ``fn(*args)`` after ``delay`` seconds (``delay >= 0``)."""
-        if delay < 0:
+        """Schedule ``fn(*args)`` after ``delay`` seconds (``delay >= 0``).
+
+        Fast path: a non-negative finite delay lands at ``now + delay``,
+        which can never time-travel, so the absolute-time revalidation of
+        :meth:`call_at` is skipped.
+        """
+        if not 0.0 <= delay < _INF:  # also rejects NaN
             raise SimulationError(f"negative delay {delay!r}")
-        return self.call_at(self._now + delay, fn, *args)
+        time = self._now + delay
+        if time == _INF:
+            raise SimulationError(f"non-finite event time {time!r}")
+        return self._push(time, fn, args)
 
     def call_soon(self, fn: Callable, *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at the current time (after pending ties)."""
-        return self.call_at(self._now, fn, *args)
+        return self._push(self._now, fn, args)
 
     # -- event objects --------------------------------------------------------
     def event(self) -> "Event":
@@ -115,16 +189,39 @@ class Engine:
         self.call_after(delay, ev.succeed, value)
         return ev
 
+    # -- heap hygiene --------------------------------------------------------
+    def _compact(self) -> None:
+        """Drop lazily-cancelled entries and re-heapify (in place).
+
+        Pop order is unaffected: entry keys ``(time, seq)`` are unique, so
+        the heap's total order — hence determinism — does not depend on its
+        internal layout.
+        """
+        heap = self._heap
+        live = [e for e in heap if not e[2].cancelled]
+        if len(live) != len(heap):
+            for e in heap:
+                if e[2].cancelled:
+                    self._retire(e[2])
+            heap[:] = live
+            heapq.heapify(heap)
+        self._cancelled = 0
+
     # -- run loop -----------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when idle."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            _, _, handle = heapq.heappop(heap)
             if handle.cancelled:
+                self._cancelled -= 1
+                self._retire(handle)
                 continue
             self._now = handle.time
             self.events_executed += 1
-            handle.fn(*handle.args)
+            fn, args = handle.fn, handle.args
+            self._retire(handle)
+            fn(*args)
             return True
         return False
 
@@ -132,33 +229,46 @@ class Engine:
         """Run until the heap drains, ``until`` is reached, or ``stop()``.
 
         Returns the simulated time at exit.  ``max_events`` is a runaway
-        guard for tests; exceeding it raises :class:`SimulationError`.
+        guard for tests; exceeding it raises :class:`SimulationError`.  The
+        guard fires *before* the offending event runs, so
+        ``events_executed`` counts only callbacks that actually executed.
         """
         if self._running:
             raise SimulationError("Engine.run() is not re-entrant")
         self._running = True
         self._stopped = False
         executed = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        pool = self._pool
         try:
-            while self._heap and not self._stopped:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap and not self._stopped:
+                time, _, handle = heap[0]
+                if handle.cancelled:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    self._retire(handle)
                     continue
-                if head.time > until:
+                if time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
-                self._now = head.time
-                self.events_executed += 1
-                executed += 1
-                if max_events is not None and executed > max_events:
+                if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway simulation?)"
                     )
-                head.fn(*head.args)
+                heappop(heap)
+                self._now = time
+                self.events_executed += 1
+                executed += 1
+                fn, args = handle.fn, handle.args
+                # _retire(), inlined for the per-event hot loop
+                handle.fn = _noop
+                handle.args = ()
+                if len(pool) < _POOL_MAX:
+                    pool.append(handle)
+                fn(*args)
             else:
-                if not self._heap and math.isfinite(until) and until > self._now:
+                if not heap and math.isfinite(until) and until > self._now:
                     # Drained before the horizon: advance the clock to it so
                     # repeated run(until=...) calls observe monotonic time.
                     self._now = until
@@ -175,16 +285,25 @@ class Engine:
         """Number of heap entries (including lazily-cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def pending_cancelled(self) -> int:
+        """Cancelled entries still parked in the heap (diagnostics)."""
+        return self._cancelled
+
     def peek(self) -> float:
         """Timestamp of the next live event, or ``inf`` when idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else math.inf
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            _, _, handle = heapq.heappop(heap)
+            self._cancelled -= 1
+            self._retire(handle)
+        return heap[0][0] if heap else math.inf
 
     def drain(self) -> Iterator[EventHandle]:  # pragma: no cover - debug aid
         """Yield and remove all pending handles (for post-mortem inspection)."""
         while self._heap:
-            yield heapq.heappop(self._heap)
+            yield heapq.heappop(self._heap)[2]
+        self._cancelled = 0
 
 
 class Event:

@@ -141,7 +141,9 @@ class SmsgFabric:
             )
         if src_pe == dst_pe:
             raise UgniInvalidParam("SMSG to self is not a thing; use the scheduler")
-        conn = self.connection(src_pe, dst_pe)
+        conn = self._connections.get((src_pe, dst_pe))
+        if conn is None:
+            conn = self.connection(src_pe, dst_pe)
         if not conn.has_credit(nbytes):
             raise UgniNoSpace(
                 f"SMSG mailbox {src_pe}->{dst_pe} out of credits "
@@ -150,9 +152,12 @@ class SmsgFabric:
         conn.take_credit(nbytes)
         conn.sent += 1
         msg = SmsgMessage(src_pe, dst_pe, tag, nbytes, payload)
-        src_node = self.machine.node_of_pe(src_pe)
-        dst_node = self.machine.node_of_pe(dst_pe)
-        cq = self.rx_cq(dst_pe)
+        machine = self.machine
+        src_node = machine.node_of_pe(src_pe)
+        dst_node = machine.node_of_pe(dst_pe)
+        cq = self._rx_cqs.get(dst_pe)
+        if cq is None:
+            cq = self.rx_cq(dst_pe)
 
         def on_arrive(t: float, msg=msg, conn=conn, cq=cq) -> None:
             conn.delivered += 1
@@ -162,7 +167,7 @@ class SmsgFabric:
         if src_node.node_id == dst_node.node_id:
             return src_node.nic.loopback_send(nbytes + SMSG_HEADER, on_arrive, at=at)
 
-        faults = self.machine.faults
+        faults = machine.faults
         if faults is not None:
             if faults.smsg_delivery_fails(src_pe, dst_pe):
                 conn.dropped += 1
@@ -199,7 +204,9 @@ class SmsgFabric:
         "copies out the messages and hands off ... to Converse").
         """
         cfg = self.config
-        cq = self.rx_cq(pe)
+        cq = self._rx_cqs.get(pe)
+        if cq is None:
+            cq = self.rx_cq(pe)
         entry = cq.get_event()
         # overrun markers and other ERROR entries are not messages; drain
         # past them so the one-event-one-message protocol stays in step

@@ -1,5 +1,9 @@
 """Tests for the benchmark harness machinery and experiment registry."""
 
+import importlib.util
+import json
+import pathlib
+
 import pytest
 
 from repro.bench.figures import EXPERIMENTS, run_experiment
@@ -10,6 +14,15 @@ from repro.bench.harness import (
     geometric_sizes,
     paper_scale,
 )
+
+_RUN_ALL = pathlib.Path(__file__).parent.parent / "benchmarks" / "run_all.py"
+
+
+def _load_run_all():
+    spec = importlib.util.spec_from_file_location("run_all", _RUN_ALL)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
 
 
 class TestSeriesAndClaims:
@@ -83,3 +96,70 @@ class TestRegistry:
         assert isinstance(r, ExperimentResult)
         assert r.series
         assert r.render()
+
+
+class TestRegressionHarness:
+    """benchmarks/run_all.py — the perf-smoke harness CI keys off."""
+
+    def test_checksum_is_order_independent_and_full_precision(self):
+        ra = _load_run_all()
+        a = ra.checksum({"x": 1.0000000000000002, "y": 2.0})
+        b = ra.checksum({"y": 2.0, "x": 1.0000000000000002})
+        c = ra.checksum({"x": 1.0, "y": 2.0})  # 1 ulp apart from a
+        assert a == b
+        assert a != c
+
+    def test_run_benchmark_detects_nondeterminism(self, monkeypatch):
+        ra = _load_run_all()
+        drift = iter(range(100))
+
+        def flaky():
+            return {"metric": float(next(drift))}
+
+        monkeypatch.setitem(ra.BENCHMARKS, "flaky", flaky)
+        with pytest.raises(RuntimeError, match="deterministic"):
+            ra.run_benchmark("flaky", rounds=3)
+
+    def test_run_benchmark_shape(self, monkeypatch):
+        ra = _load_run_all()
+        monkeypatch.setitem(ra.BENCHMARKS, "fast", lambda: {"m": 1.5})
+        entry = ra.run_benchmark("fast", rounds=3)
+        assert len(entry["wall_s"]) == 3
+        assert entry["wall_median_s"] >= 0
+        assert entry["sim"] == {"m": 1.5}
+        assert entry["checksum"].startswith("sha256:")
+
+    def test_compare_flags_slowdown_and_drift(self):
+        ra = _load_run_all()
+        base = {"schema": ra.SCHEMA, "benchmarks": {
+            "b": {"normalized": 1.0, "checksum": "sha256:aaa"}}}
+        same = {"schema": ra.SCHEMA, "benchmarks": {
+            "b": {"normalized": 1.1, "checksum": "sha256:aaa"}}}
+        slow = {"schema": ra.SCHEMA, "benchmarks": {
+            "b": {"normalized": 1.5, "checksum": "sha256:aaa"}}}
+        drift = {"schema": ra.SCHEMA, "benchmarks": {
+            "b": {"normalized": 1.0, "checksum": "sha256:bbb"}}}
+        assert ra.compare(same, base, tolerance=0.20) == []
+        assert any("1.50x" in f for f in ra.compare(slow, base, tolerance=0.20))
+        assert any("checksum drifted" in f
+                   for f in ra.compare(drift, base, tolerance=0.20))
+        missing = {"schema": ra.SCHEMA, "benchmarks": {}}
+        assert any("missing" in f for f in ra.compare(missing, base, 0.2))
+
+    def test_compare_rejects_schema_mismatch(self):
+        ra = _load_run_all()
+        cur = {"schema": ra.SCHEMA, "benchmarks": {}}
+        old = {"schema": "repro-bench-v0", "benchmarks": {}}
+        fails = ra.compare(cur, old, tolerance=0.20)
+        assert fails and "schema mismatch" in fails[0]
+
+    def test_committed_baseline_parses_and_matches_schema(self):
+        ra = _load_run_all()
+        path = _RUN_ALL.parent / "BENCH_baseline.json"
+        base = json.loads(path.read_text())
+        assert base["schema"] == ra.SCHEMA
+        for name in ("pingpong", "kneighbor", "engine_events"):
+            entry = base["benchmarks"][name]
+            assert entry["checksum"].startswith("sha256:")
+            assert entry["normalized"] > 0
+            assert entry["sim"]

@@ -38,6 +38,8 @@ def _check_conserved(stats):
     assert stats["smsg_credits_used"] == 0
     assert stats["pool_live_blocks"] == 0
     assert stats["pool_live_bytes"] == 0
+    # receiver dedup memory is bounded by the OOO window, never O(msgs)
+    assert stats["rel_window_peak"] <= CHAOS.rel_window_cap
 
 
 class TestPingPongChaos:

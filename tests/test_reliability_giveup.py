@@ -1,0 +1,162 @@
+"""Give-up paths of the reliability layer: exhausted retries must
+terminate, be reported, and leak nothing.
+
+Regression tests for two silent-loss bugs:
+
+* ``_post_guarded`` used to abandon a post without telling anyone — the
+  initiating protocol step waited forever and its rendezvous buffers
+  leaked.  Now ``on_failed`` runs in PE context with a
+  :class:`UgniTransactionError`, ``post_failures``/``rndv_failed``/
+  ``persistent_failed`` are bumped, and both sides reclaim their buffers
+  (the :data:`RNDV_FAIL_TAG` control message).
+* ``_rel_seen`` grew a per-pair seen-set forever; it is now a cumulative
+  watermark plus a bounded out-of-order window (:class:`_RelRx`).
+"""
+
+import pytest
+
+from repro.apps.pingpong import charm_pingpong
+from repro.converse.scheduler import Message
+from repro.faults import FaultConfig
+from repro.hardware import Machine
+from repro.hardware.config import tiny as tiny_config
+from repro.lrts.factory import make_runtime
+from repro.lrts.ugni_layer import UgniLayerConfig
+from repro.lrts.ugni_layer.reliability import _RelRx
+from repro.sim.trace import TraceLog
+from repro.units import KB
+
+#: small retry budget + fast backoff so give-up happens quickly
+FAST = dict(reliability=True, max_retries=3,
+            retry_backoff_base=2e-6, retry_backoff_max=8e-6)
+
+
+def make(layer_config, faults=None, seed=0):
+    m = Machine(n_nodes=4, config=tiny_config(cores_per_node=2),
+                seed=seed, trace=TraceLog())
+    conv, layer = make_runtime(machine=m, n_pes=m.n_pes, layer="ugni",
+                               layer_config=layer_config, faults=faults)
+    return m, conv, layer
+
+
+class TestSmsgGiveUp:
+    def test_total_loss_terminates_and_reports(self):
+        """100% drop: every packet exhausts max_retries; the run must
+        still reach quiescence (no retry timer lives past the give-up)
+        with every abandonment counted and the tx table empty."""
+        m, conv, layer = make(UgniLayerConfig(**FAST),
+                              faults=FaultConfig(smsg_drop_rate=1.0))
+        delivered = []
+        h = conv.register_handler(lambda pe, msg: delivered.append(msg))
+        sender = conv.register_handler(
+            lambda pe, msg: conv.send(pe, 2, Message(h, pe.rank, 2, 64)))
+        for _ in range(5):
+            conv.send_from_outside(0, Message(sender, 0, 0, 0))
+        m.engine.run(max_events=1_000_000)  # raises if retries never stop
+        s = layer.stats()
+        assert s["rel_failed"] == 5
+        assert delivered == []
+        assert layer._rel_tx == {}  # every record retired at give-up
+        assert m.trace.count("recovery", "give_up") == 5
+        # mailbox credit reclaimed when each dropped delivery resolved
+        assert all(c.credits_used == 0
+                   for c in layer.gni.smsg._connections.values())
+        assert m.engine.peek() == float("inf")  # truly quiescent
+
+
+class TestPostGiveUp:
+    @pytest.mark.parametrize("mode", ["get", "put"])
+    def test_abandoned_rendezvous_reclaims_both_sides(self, mode):
+        """100% RDMA errors: the FMA/BTE post gives up, the failing side
+        reclaims its buffer and the RNDV_FAIL control message lets the
+        peer reclaim the one it pinned — nothing leaks, nothing hangs."""
+        m, conv, layer = make(UgniLayerConfig(rendezvous=mode, **FAST),
+                              faults=FaultConfig(rdma_error_rate=1.0))
+        delivered = []
+        h = conv.register_handler(lambda pe, msg: delivered.append(msg))
+        sender = conv.register_handler(
+            lambda pe, msg: conv.send(pe, 2, Message(h, pe.rank, 2, 64 * KB)))
+        conv.send_from_outside(0, Message(sender, 0, 0, 0))
+        m.engine.run(max_events=1_000_000)
+        s = layer.stats()
+        assert s["post_failures"] == 1
+        assert s["post_retries"] == layer.lcfg.max_retries
+        assert s["rndv_failed"] == 1
+        assert delivered == []  # lost and reported, not silently hung
+        assert s["pool_live_blocks"] == 0  # both sides reclaimed
+        assert s["pool_live_bytes"] == 0
+        assert m.trace.count("recovery", "post_give_up") == 1
+        assert s["rel_failed"] == 0  # control SMSGs were unaffected
+        assert m.engine.peek() == float("inf")
+
+    def test_abandoned_persistent_send_keeps_channel(self):
+        """A persistent PUT that exhausts retries is counted as lost; the
+        channel's pinned buffers persist by design (no leak of pool
+        blocks, no dangling waiter)."""
+        m, conv, layer = make(UgniLayerConfig(**FAST),
+                              faults=FaultConfig(rdma_error_rate=1.0))
+        delivered = []
+        h = conv.register_handler(lambda pe, msg: delivered.append(msg))
+
+        def boot(pe, msg):
+            handle = layer.create_persistent(pe, 2, 4 * KB)
+            layer.send_persistent(pe, handle,
+                                  Message(h, pe.rank, 2, 2 * KB))
+
+        hb = conv.register_handler(boot)
+        conv.send_from_outside(0, Message(hb, 0, 0, 0))
+        m.engine.run(max_events=1_000_000)
+        s = layer.stats()
+        assert s["persistent_failed"] == 1
+        assert s["post_failures"] == 1
+        assert s["persistent_rearms"] == s["post_retries"] > 0
+        assert delivered == []
+        assert s["pool_live_blocks"] == 0
+        assert m.trace.count("recovery", "persist_send_failed") == 1
+        assert m.engine.peek() == float("inf")
+
+
+class TestDedupWindow:
+    def test_watermark_semantics(self):
+        rx = _RelRx()
+        assert not rx.seen(0)
+        rx.mark(0)
+        rx.mark(1)
+        assert rx.watermark == 1 and rx.window == set()
+        rx.mark(5)
+        rx.mark(3)
+        assert rx.seen(5) and rx.seen(3) and not rx.seen(2)
+        assert rx.window == {3, 5}
+        rx.mark(2)
+        assert rx.watermark == 3 and rx.window == {5}
+        rx.mark(4)
+        assert rx.watermark == 5 and rx.window == set()
+        # everything at or below the watermark counts as seen forever
+        assert all(rx.seen(s) for s in range(6))
+
+    def test_force_advance_skips_permanent_gap(self):
+        rx = _RelRx()
+        for seq in range(1, 10):  # seq 0 abandoned by its sender
+            rx.mark(seq)
+        assert len(rx.window) == 9
+        assert rx.force_advance(4) == 1
+        assert rx.watermark == 9 and rx.window == set()
+        # a straggler copy of the skipped seq is treated as a duplicate
+        assert rx.seen(0)
+
+    def test_window_cap_validated(self):
+        with pytest.raises(ValueError):
+            UgniLayerConfig(rel_window_cap=0)
+
+    def test_window_stays_bounded_under_sustained_loss(self):
+        """The receiver's dedup memory must stay O(window), not O(total
+        messages) — this is the regression test for the unbounded
+        seen-set."""
+        lc = UgniLayerConfig(reliability=True, max_retries=30,
+                             retry_backoff_base=5e-6, retry_backoff_max=10e-6)
+        r = charm_pingpong(64, layer_config=lc,
+                           faults=FaultConfig(smsg_drop_rate=0.15), seed=3)
+        assert r.stats["rel_duplicates"] > 0  # dedup actually exercised
+        assert r.stats["rel_window_peak"] <= lc.rel_window_cap
+        # with in-order pingpong traffic the window should be tiny
+        assert r.stats["rel_window_peak"] <= 4

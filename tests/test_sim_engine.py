@@ -107,6 +107,31 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             eng.run(max_events=100)
 
+    def test_max_events_boundary_is_exact(self):
+        """The guard fires *before* the offending event: run(max_events=N)
+        executes exactly N callbacks and the counter agrees (regression:
+        the counter used to be bumped before the guard, overcounting by
+        one while executing one fewer)."""
+        eng = Engine()
+        count = []
+
+        def rearm():
+            count.append(1)
+            eng.call_after(1e-9, rearm)
+
+        eng.call_after(1e-9, rearm)
+        with pytest.raises(SimulationError):
+            eng.run(max_events=10)
+        assert len(count) == 10
+        assert eng.events_executed == 10
+
+    def test_max_events_allows_exactly_n(self):
+        eng = Engine()
+        for _ in range(10):
+            eng.call_after(1e-6, lambda: None)
+        eng.run(max_events=10)  # exactly at the limit: no raise
+        assert eng.events_executed == 10
+
     def test_events_executed_counter(self):
         eng = Engine()
         for _ in range(5):
