@@ -4,8 +4,6 @@ Regenerates the exhibit on the simulated Gemini machine and asserts the
 paper's qualitative claims.  See repro.bench for details.
 """
 
-from conftest import run_and_check
+from _harness import exhibit_test
 
-
-def test_ablation_msgq(benchmark):
-    run_and_check(benchmark, "ablation_msgq")
+test_ablation_msgq = exhibit_test("ablation_msgq")

@@ -4,8 +4,6 @@ Regenerates the exhibit on the simulated Gemini machine and asserts the
 paper's qualitative claims.  See repro.bench for details.
 """
 
-from conftest import run_and_check
+from _harness import exhibit_test
 
-
-def test_ablation_put_get(benchmark):
-    run_and_check(benchmark, "ablation_put_get")
+test_ablation_put_get = exhibit_test("ablation_put_get")

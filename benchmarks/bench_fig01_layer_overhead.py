@@ -4,8 +4,6 @@ Regenerates the exhibit on the simulated Gemini machine and asserts the
 paper's qualitative claims.  See repro.bench for details.
 """
 
-from conftest import run_and_check
+from _harness import exhibit_test
 
-
-def test_fig1(benchmark):
-    run_and_check(benchmark, "fig1")
+test_fig1 = exhibit_test("fig1")

@@ -4,8 +4,6 @@ Regenerates the exhibit on the simulated Gemini machine and asserts the
 paper's qualitative claims.  See repro.bench for details.
 """
 
-from conftest import run_and_check
+from _harness import exhibit_test
 
-
-def test_fig9b(benchmark):
-    run_and_check(benchmark, "fig9b")
+test_fig9b = exhibit_test("fig9b")

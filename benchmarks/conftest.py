@@ -1,4 +1,4 @@
-"""Shared machinery for the paper-reproduction benchmarks.
+"""Pytest glue for the paper-reproduction benchmarks.
 
 Each ``bench_*.py`` regenerates one of the paper's tables or figures.
 Running::
@@ -11,33 +11,19 @@ rows/series plus the paper-shape claim checklist, asserts that every claim
 holds, and writes the rendered output to ``benchmarks/results/<id>.txt``.
 
 Set ``REPRO_PAPER_SCALE=1`` for the full published sweeps (minutes).
+Set ``REPRO_BENCH_JOBS=N`` to fan the figure sweeps out across worker
+processes (results are byte-identical at any job count).
+
+The run/render/assert machinery lives in ``_harness.py``; this module
+re-exports :func:`run_and_check` for callers that import it from
+``conftest`` and provides the ``paper_exhibit`` factory fixture.
 """
 
 from __future__ import annotations
 
-import pathlib
-
 import pytest
 
-from repro.bench.figures import run_experiment
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-def run_and_check(benchmark, exp_id: str) -> None:
-    """Run one experiment under the benchmark fixture and verify claims."""
-    result = benchmark.pedantic(run_experiment, args=(exp_id,),
-                                rounds=1, iterations=1)
-    rendered = result.render()
-    print()
-    print(rendered)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{exp_id}.txt").write_text(rendered)
-    failed = result.failed_claims()
-    assert not failed, (
-        f"{exp_id}: paper-shape claims failed:\n"
-        + "\n".join(f"  - {c.text} ({c.detail})" for c in failed)
-    )
+from _harness import RESULTS_DIR, run_and_check  # noqa: F401  (re-export)
 
 
 @pytest.fixture

@@ -19,12 +19,22 @@ microbenchmark — and emits a ``BENCH_<label>.json`` with:
 checksums must match exactly and each benchmark's normalized cost must
 not regress by more than ``--tolerance`` (default 20%).  Exit status is
 non-zero on any regression or checksum drift, which is what the CI
-perf-smoke job keys off.
+perf-smoke job keys off.  A benchmark present in the current run but
+absent from the baseline fails with a message telling you to
+``--rebase`` (rewrite the baseline in place from this run).
+
+``--jobs N`` (or ``REPRO_BENCH_JOBS=N``) fans the timed rounds out
+across worker processes via :mod:`repro.parallel.sweep`.  Each
+(benchmark, round) pair is an independent task; results merge in
+submission order, so the simulated metrics and their checksums are
+byte-identical to ``--jobs 1`` — only the wall-clock shrinks.  Each
+worker warms a benchmark up once before timing it, mirroring the
+sequential warm-up round.
 
 Usage::
 
     python benchmarks/run_all.py --out BENCH_pr3.json
-    python benchmarks/run_all.py --check benchmarks/BENCH_baseline.json
+    python benchmarks/run_all.py --jobs 4 --check benchmarks/BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.apps.kneighbor import kneighbor
 from repro.apps.pingpong import charm_pingpong
+from repro.parallel import ShardedEngine, SweepPoint, resolve_jobs, run_sweep
 from repro.sim import Engine
 from repro.units import KB, MB
 
@@ -98,10 +109,40 @@ def _noop() -> None:
     pass
 
 
+def bench_sharded_kneighbor() -> dict[str, float]:
+    """Fig-10 kNeighbor on the sharded engine, diffed against sequential.
+
+    Runs the same config on the sequential engine and a 3-shard
+    :class:`ShardedEngine` and requires bit-identical metrics — the
+    determinism contract is re-verified on every benchmark run, not just
+    in the unit suite.  The emitted metrics fold in the shard counters so
+    a change in windowing behaviour shows up as checksum drift.
+    """
+    seq = kneighbor(2 * KB, layer="ugni", iters=60)
+    eng = ShardedEngine(n_shards=3)
+    shd = kneighbor(2 * KB, layer="ugni", iters=60, engine=eng)
+    if repr(seq.iteration_time) != repr(shd.iteration_time):
+        raise RuntimeError(
+            f"sharded engine diverged from sequential: "
+            f"{seq.iteration_time!r} vs {shd.iteration_time!r}")
+    stats = eng.shard_stats()
+    if stats["sequential"]:
+        raise RuntimeError(
+            f"sharded engine fell back to sequential execution "
+            f"({stats['fallback_reason']}) — the benchmark measured nothing")
+    return {
+        "iteration_2KB_s": shd.iteration_time,
+        "windows": float(stats["windows"]),
+        "exchanged_events": float(stats["exchanged_events"]),
+        "lookahead_violations": float(stats["lookahead_violations"]),
+    }
+
+
 BENCHMARKS = {
     "pingpong": bench_pingpong,
     "kneighbor": bench_kneighbor,
     "engine_events": bench_engine_events,
+    "sharded_kneighbor": bench_sharded_kneighbor,
 }
 
 
@@ -124,20 +165,31 @@ def calibrate(spins: int = 2_000_000) -> float:
     return time.process_time() - t0
 
 
-def run_benchmark(name: str, rounds: int) -> dict:
+#: per-process warm-up memo — forked workers each carry their own copy,
+#: so every process warms a benchmark exactly once before timing it
+_WARMED: set = set()
+
+
+def _measure_round(name: str) -> dict:
+    """One timed round of one benchmark — the parallel work unit."""
     fn = BENCHMARKS[name]
-    walls, sums = [], set()
-    sim: dict[str, float] = {}
-    fn()  # warm-up round: imports, lazy caches, allocator steady state
-    for _ in range(rounds):
-        t0 = time.process_time()
-        sim = fn()
-        walls.append(time.process_time() - t0)
-        sums.add(checksum(sim))
+    if name not in _WARMED:
+        fn()  # warm-up: imports, lazy caches, allocator steady state
+        _WARMED.add(name)
+    t0 = time.process_time()
+    sim = fn()
+    wall = time.process_time() - t0
+    return {"wall_s": wall, "sim": sim, "checksum": checksum(sim)}
+
+
+def _aggregate(name: str, round_results: list[dict]) -> dict:
+    walls = [r["wall_s"] for r in round_results]
+    sums = {r["checksum"] for r in round_results}
     if len(sums) != 1:
         raise RuntimeError(
             f"{name}: simulated metrics differed across rounds — the "
             f"simulation is no longer deterministic: {sorted(sums)}")
+    sim = round_results[-1]["sim"]
     entry = {
         "wall_s": walls,
         "wall_median_s": statistics.median(walls),
@@ -149,18 +201,32 @@ def run_benchmark(name: str, rounds: int) -> dict:
     return entry
 
 
-def run_all(rounds: int, label: str) -> dict:
+def run_benchmark(name: str, rounds: int) -> dict:
+    """Sequential rounds of one benchmark (the ``--jobs 1`` work loop)."""
+    return _aggregate(name, [_measure_round(name) for _ in range(rounds)])
+
+
+def run_all(rounds: int, label: str, jobs: int | None = None) -> dict:
+    n_jobs = resolve_jobs(jobs)
     calib = statistics.median(calibrate() for _ in range(3))
     report: dict = {
         "schema": SCHEMA,
         "label": label,
         "rounds": rounds,
+        "jobs": n_jobs,
         "calibration_s": calib,
         "benchmarks": {},
     }
-    for name in BENCHMARKS:
-        print(f"[bench] {name} ...", flush=True)
-        entry = run_benchmark(name, rounds)
+    # every (benchmark, round) pair is one task; run_sweep returns them
+    # in submission order, so slicing by benchmark reassembles exactly
+    # the sequence a --jobs 1 run produces
+    points = [SweepPoint(_measure_round, (name,), label=f"{name}[{i}]")
+              for name in BENCHMARKS for i in range(rounds)]
+    print(f"[bench] {len(points)} rounds across {len(BENCHMARKS)} benchmarks "
+          f"(jobs={n_jobs}) ...", flush=True)
+    results = run_sweep(points, jobs=n_jobs)
+    for bi, name in enumerate(BENCHMARKS):
+        entry = _aggregate(name, results[bi * rounds:(bi + 1) * rounds])
         entry["normalized"] = entry["wall_median_s"] / calib
         report["benchmarks"][name] = entry
         print(f"[bench] {name}: median {entry['wall_median_s']:.3f}s "
@@ -180,17 +246,30 @@ def compare(report: dict, baseline: dict, tolerance: float) -> list[str]:
             f"schema mismatch: baseline {baseline.get('schema')!r} vs "
             f"current {report['schema']!r} — regenerate the baseline")
         return failures
-    for name, base in baseline["benchmarks"].items():
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name in sorted(set(base_benchmarks) | set(report["benchmarks"])):
+        base = base_benchmarks.get(name)
         cur = report["benchmarks"].get(name)
+        if base is None:
+            failures.append(
+                f"{name}: missing from baseline — run with --rebase to "
+                f"record it")
+            continue
         if cur is None:
             failures.append(f"{name}: benchmark missing from current run")
             continue
-        if cur["checksum"] != base["checksum"]:
+        if cur["checksum"] != base.get("checksum"):
             failures.append(
                 f"{name}: simulated-metric checksum drifted "
-                f"({base['checksum'][:23]}… -> {cur['checksum'][:23]}…) — "
+                f"({str(base.get('checksum'))[:23]}… -> {cur['checksum'][:23]}…) — "
                 f"an optimization changed simulation results")
-        ratio = cur["normalized"] / base["normalized"]
+        base_norm = base.get("normalized")
+        if not base_norm:
+            failures.append(
+                f"{name}: baseline entry has no normalized cost — "
+                f"regenerate it with --rebase")
+            continue
+        ratio = cur["normalized"] / base_norm
         if ratio > 1.0 + tolerance:
             failures.append(
                 f"{name}: {ratio:.2f}x the baseline normalized cost "
@@ -209,13 +288,23 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--check", metavar="BASELINE",
                    help="baseline JSON to compare against; exit 1 on "
                         ">tolerance regression or checksum drift")
+    p.add_argument("--rebase", metavar="BASELINE",
+                   help="write this run as the new baseline JSON")
     p.add_argument("--tolerance", type=float, default=0.20,
                    help="allowed fractional slowdown (default: %(default)s)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the timed rounds "
+                        "(default: $REPRO_BENCH_JOBS or 1; 0 = all cores)")
     args = p.parse_args(argv)
 
-    report = run_all(args.rounds, args.label)
+    report = run_all(args.rounds, args.label, jobs=args.jobs)
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] wrote {args.out}")
+
+    if args.rebase:
+        pathlib.Path(args.rebase).write_text(
+            json.dumps(report, indent=2) + "\n")
+        print(f"[bench] rebased baseline {args.rebase}")
 
     if args.check:
         baseline = json.loads(pathlib.Path(args.check).read_text())

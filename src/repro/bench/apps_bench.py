@@ -7,8 +7,20 @@ from repro.apps.minimd import run_minimd
 from repro.apps.nqueens import build_task_tree, run_nqueens
 from repro.apps.nqueens.workmodel import paper_threshold_to_depth
 from repro.bench.harness import ExperimentResult, Series, paper_scale
+from repro.parallel import SweepPoint, run_sweep
 from repro.projections import render_profile
 from repro.units import fmt_time
+
+
+# module-level sweep points (picklable for the process-pool sweep runner)
+def _nqueens_speedup(n: int, thr: int, cores: int, layer: str, tree) -> float:
+    return run_nqueens(n, thr, cores, layer=layer, tree=tree).speedup
+
+
+def _minimd_ms(system: str, cores: int, layer: str, steps: int,
+               warmup: int) -> float:
+    return run_minimd(system, cores, layer=layer, steps=steps,
+                      warmup=warmup).ms_per_step
 
 
 # --------------------------------------------------------------------- #
@@ -36,10 +48,12 @@ def fig11() -> ExperimentResult:
         thr: build_task_tree(n, paper_threshold_to_depth(thr), mode=mode)
         for thr in {thr_mpi, thr_ugni}
     }
-    ugni = [run_nqueens(n, thr_ugni, c, layer="ugni",
-                        tree=trees[thr_ugni]).speedup for c in cores]
-    mpi = [run_nqueens(n, thr_mpi, c, layer="mpi",
-                       tree=trees[thr_mpi]).speedup for c in cores]
+    flat = run_sweep(
+        [SweepPoint(_nqueens_speedup, (n, thr_ugni, c, "ugni", trees[thr_ugni]))
+         for c in cores]
+        + [SweepPoint(_nqueens_speedup, (n, thr_mpi, c, "mpi", trees[thr_mpi]))
+           for c in cores])
+    ugni, mpi = flat[:len(cores)], flat[len(cores):]
     res.series = [
         Series(f"uGNI-CHARM++ (thr {thr_ugni})", cores, ugni),
         Series(f"MPI-CHARM++ (thr {thr_mpi})", cores, mpi),
@@ -249,13 +263,13 @@ def fig13() -> ExperimentResult:
         x_label="system@cores",
         y_kind="raw",
     )
-    labels, mpi, ugni = [], [], []
-    for system, c in setups:
-        labels.append(f"{system}@{c}")
-        mpi.append(run_minimd(system, c, layer="mpi", steps=4,
-                              warmup=2).ms_per_step)
-        ugni.append(run_minimd(system, c, layer="ugni", steps=4,
-                               warmup=2).ms_per_step)
+    labels = [f"{system}@{c}" for system, c in setups]
+    flat = run_sweep(
+        [SweepPoint(_minimd_ms, (system, c, "mpi", 4, 2))
+         for system, c in setups]
+        + [SweepPoint(_minimd_ms, (system, c, "ugni", 4, 2))
+           for system, c in setups])
+    mpi, ugni = flat[:len(setups)], flat[len(setups):]
     res.series = [
         Series("MPI-based (ms/step)", labels, mpi),
         Series("uGNI-based (ms/step)", labels, ugni),

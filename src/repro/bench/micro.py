@@ -9,6 +9,7 @@ from repro.apps.raw import fma_bte_latency, mpi_pingpong, ugni_pingpong
 from repro.bench.harness import ExperimentResult, Series, geometric_sizes, paper_scale
 from repro.lrts.ugni_layer import UgniLayerConfig
 from repro.lrts.ugni_layer.config import initial_design
+from repro.parallel import SweepPoint, run_sweep
 from repro.units import KB, MB, us
 
 
@@ -17,6 +18,47 @@ def _sizes(lo: int, hi: int) -> list[int]:
     if not paper_scale():
         sizes = sizes[::2] + ([sizes[-1]] if sizes[-1] not in sizes[::2] else [])
     return sizes
+
+
+# --------------------------------------------------------------------- #
+# module-level sweep-point functions: the process-pool sweep runner
+# (repro.parallel.sweep) requires points that worker processes can
+# import, so the per-size simulations the figures fan out live here
+# rather than as comprehensions inside each figure
+# --------------------------------------------------------------------- #
+def _charm_latency(size: int, layer: str) -> float:
+    return charm_pingpong(size, layer=layer).one_way_latency
+
+
+def _charm_bandwidth(size: int, layer: str) -> float:
+    return charm_pingpong(size, layer=layer).bandwidth
+
+
+def _mpi_latency(size: int, same_buffer: bool) -> float:
+    return mpi_pingpong(size, same_buffer=same_buffer)
+
+
+def _one_to_all_latency(size: int, layer: str, n_nodes: int) -> float:
+    return one_to_all(size, layer=layer, n_nodes=n_nodes).latency
+
+
+def _kneighbor_time(size: int, layer: str) -> float:
+    return kneighbor(size, layer=layer).iteration_time
+
+
+def _curves(specs: list[tuple], sizes: list[int]) -> list[list[float]]:
+    """Fan out ``[(fn, *extra_args), ...]`` x sizes as one sweep.
+
+    All curves of a figure go into a single :func:`run_sweep` call so a
+    parallel run load-balances across the whole figure; results come
+    back in submission order and are sliced back into per-curve lists —
+    identical to evaluating each comprehension sequentially.
+    """
+    points = [SweepPoint(spec[0], (s, *spec[1:])) for spec in specs
+              for s in sizes]
+    flat = run_sweep(points)
+    n = len(sizes)
+    return [flat[i * n:(i + 1) * n] for i in range(len(specs))]
 
 
 # --------------------------------------------------------------------- #
@@ -237,11 +279,13 @@ def fig9a() -> ExperimentResult:
         x_label="message bytes",
     )
     sizes = _sizes(8, 1 * MB)
-    pure = [ugni_pingpong(s) for s in sizes]
-    ugni_charm = [charm_pingpong(s, layer="ugni").one_way_latency for s in sizes]
-    mpi_same = [mpi_pingpong(s, same_buffer=True) for s in sizes]
-    mpi_diff = [mpi_pingpong(s, same_buffer=False) for s in sizes]
-    mpi_charm = [charm_pingpong(s, layer="mpi").one_way_latency for s in sizes]
+    pure, ugni_charm, mpi_same, mpi_diff, mpi_charm = _curves([
+        (ugni_pingpong,),
+        (_charm_latency, "ugni"),
+        (_mpi_latency, True),
+        (_mpi_latency, False),
+        (_charm_latency, "mpi"),
+    ], sizes)
     res.series = [
         Series("uGNI-CHARM++", sizes, ugni_charm),
         Series("MPI-CHARM++", sizes, mpi_charm),
@@ -280,10 +324,10 @@ def fig9b() -> ExperimentResult:
         y_kind="bandwidth",
     )
     sizes = _sizes(16 * KB, 4 * MB)
-    ugni_bw, mpi_bw = [], []
-    for s in sizes:
-        ugni_bw.append(charm_pingpong(s, layer="ugni").bandwidth)
-        mpi_bw.append(charm_pingpong(s, layer="mpi").bandwidth)
+    ugni_bw, mpi_bw = _curves([
+        (_charm_bandwidth, "ugni"),
+        (_charm_bandwidth, "mpi"),
+    ], sizes)
     res.series = [
         Series("uGNI-based CHARM++", sizes, ugni_bw),
         Series("MPI-based CHARM++", sizes, mpi_bw),
@@ -312,8 +356,10 @@ def fig9c() -> ExperimentResult:
         x_label="message bytes",
     )
     sizes = _sizes(32, 1 * MB)
-    ugni = [one_to_all(s, layer="ugni", n_nodes=n_nodes).latency for s in sizes]
-    mpi = [one_to_all(s, layer="mpi", n_nodes=n_nodes).latency for s in sizes]
+    ugni, mpi = _curves([
+        (_one_to_all_latency, "ugni", n_nodes),
+        (_one_to_all_latency, "mpi", n_nodes),
+    ], sizes)
     res.series = [
         Series("uGNI-based CHARM++", sizes, ugni),
         Series("MPI-based CHARM++", sizes, mpi),
@@ -340,8 +386,10 @@ def fig10() -> ExperimentResult:
         x_label="message bytes",
     )
     sizes = _sizes(32, 1 * MB)
-    ugni = [kneighbor(s, layer="ugni").iteration_time for s in sizes]
-    mpi = [kneighbor(s, layer="mpi").iteration_time for s in sizes]
+    ugni, mpi = _curves([
+        (_kneighbor_time, "ugni"),
+        (_kneighbor_time, "mpi"),
+    ], sizes)
     res.series = [
         Series("uGNI-based CHARM++", sizes, ugni),
         Series("MPI-based CHARM++", sizes, mpi),

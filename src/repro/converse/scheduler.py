@@ -141,8 +141,15 @@ class PE:
         self._kick()
 
     def deliver_at(self, time: float, msg: Message, recv_cpu: float = 0.0) -> None:
-        """Schedule :meth:`enqueue` at an absolute simulated time."""
-        self.engine.call_at(time, self.enqueue, msg, recv_cpu)
+        """Schedule :meth:`enqueue` at an absolute simulated time.
+
+        Routed by node so a sharded engine queues the delivery on this
+        PE's shard — bootstrap injections (``send_from_outside``) arrive
+        from outside any shard context and would otherwise land on shard
+        0 regardless of the target PE.
+        """
+        self.engine.call_at_node(self.node.node_id, time, self.enqueue,
+                                 msg, recv_cpu)
 
     # -- blocking calls (the MPI machine layer's MPI_Recv) -----------------------
     def begin_blocking(self) -> None:

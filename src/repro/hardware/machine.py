@@ -71,6 +71,12 @@ class Machine:
         self._pe_node: list[Node] = [
             self.nodes[pe // cpn] for pe in range(n_nodes * cpn)
         ]
+        # A shard-aware engine (repro.parallel.ShardedEngine) learns the
+        # node partition and its conservative lookahead from the machine;
+        # the sequential engine has no such hook and skips this.
+        bind = getattr(self.engine, "bind_machine", None)
+        if bind is not None:
+            bind(self)
 
     # -- sizing ------------------------------------------------------------
     @property

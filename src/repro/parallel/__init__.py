@@ -1,0 +1,32 @@
+"""Multi-core scale-out: parallel sweeps + sharded event engine.
+
+Two layers, one determinism contract (documented in DESIGN.md):
+
+* :mod:`repro.parallel.sweep` — a process-pool runner for *independent*
+  sweep points (the benchmark grids behind every paper figure), with
+  spawn-key seeding so results are byte-identical at any job count.
+* :mod:`repro.parallel.sharded_engine` — a conservative-lookahead
+  sharded event engine that partitions hardware nodes across shards and
+  advances them in lookahead-bounded synchronization windows, producing
+  bit-identical results to the sequential :class:`repro.sim.engine.Engine`.
+"""
+
+from repro.parallel.sharded_engine import ShardedEngine
+from repro.parallel.sweep import (
+    JOBS_ENV,
+    SweepPoint,
+    resolve_jobs,
+    run_sweep,
+    sweep_map,
+)
+from repro.sim.rng import spawn_seed
+
+__all__ = [
+    "JOBS_ENV",
+    "ShardedEngine",
+    "SweepPoint",
+    "resolve_jobs",
+    "run_sweep",
+    "sweep_map",
+    "spawn_seed",
+]

@@ -1,0 +1,438 @@
+"""Sharded conservative-lookahead event engine.
+
+:class:`ShardedEngine` partitions the machine's hardware nodes into
+*shards*, gives every shard its own event queue, and advances the shards
+in **synchronization windows** bounded by the minimum cross-node link
+latency (the *lookahead*, in classic conservative-PDES terms).  Events a
+shard schedules onto another shard — SMSG arrivals, RDMA completions, PE
+message deliveries, anything routed through
+:meth:`~repro.sim.engine.Engine.call_at_node` — are buffered in per-shard
+**exchange queues** and only handed over at the window barrier.
+
+Determinism contract (also documented in DESIGN.md):
+
+* Merged events execute in the total order ``(time, shard, seq)``.  The
+  ``seq`` stamp is drawn from one engine-global monotone counter, so the
+  pair ``(time, seq)`` is already a total order — and it is exactly the
+  sequential :class:`~repro.sim.engine.Engine`'s order.  The shard field
+  therefore never has to break a tie today; it is recorded per event so
+  the exchange protocol keeps a total order even in a future
+  multi-process mode where stamps come from per-shard counters.
+* Cross-shard events must land at least one lookahead in the future.
+  Every cross-node path in the hardware model crosses an injection port,
+  at least one torus hop, and an ejection port, so
+  ``2 * nic_latency + hop_latency`` is a safe lower bound.  A scheduling
+  call that violates the bound is executed correctly anyway (the event is
+  inserted directly, preserving the total order) but counted in
+  :attr:`lookahead_violations` — the future multi-process mode cannot
+  tolerate violations, so CI can assert the counter stays zero.
+* The engine **falls back to sequential execution** — one logical shard,
+  no windows, still the exact same total order — whenever the
+  configuration cannot support conservative sharding: fault injection is
+  installed (link faults change latencies mid-run and node crashes kill
+  whole shards), a link fault is observed at a window barrier, the
+  machine has fewer nodes than shards need, or the lookahead falls below
+  ``min_lookahead``.  :attr:`fallback_reason` records why.
+
+Because the total order is identical in every mode, a sharded run is
+**bit-identical** to a sequential run of the same config — asserted by
+``tests/test_sharded_engine.py`` on the fig-10 kNeighbor config.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, EventHandle
+
+_INF = math.inf
+
+
+class _Shard:
+    """One shard: an event heap over a contiguous block of nodes."""
+
+    __slots__ = ("index", "heap")
+
+    def __init__(self, index: int):
+        self.index = index
+        #: entries are (time, seq, handle); seq is engine-global
+        self.heap: list[tuple[float, int, EventHandle]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<_Shard {self.index} pending={len(self.heap)}>"
+
+
+class _TotalPending:
+    """len() proxy so the base class's compaction heuristic (which reads
+    ``len(engine._heap)``) sees the true number of pending entries."""
+
+    __slots__ = ("shards",)
+
+    def __init__(self, shards: list[_Shard]):
+        self.shards = shards
+
+    def __len__(self) -> int:
+        return sum(len(s.heap) for s in self.shards)
+
+
+class ShardedEngine(Engine):
+    """Drop-in :class:`Engine` with sharded queues and windowed execution.
+
+    Usage::
+
+        eng = ShardedEngine(n_shards=4)
+        machine = Machine(n_nodes=16, engine=eng)   # binds the partition
+        ... run any experiment ...
+        eng.shard_stats()   # windows, exchanged events, fallback reason
+
+    Construction does not need the machine; :meth:`bind_machine` (called
+    by ``Machine.__init__``) supplies the node partition and the default
+    lookahead.  Until then — and after a fallback — the engine behaves
+    exactly like the sequential one.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        lookahead: Optional[float] = None,
+        min_lookahead: float = 1e-9,
+    ) -> None:
+        super().__init__()
+        if n_shards < 1:
+            raise SimulationError(f"need at least one shard, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self._shards = [_Shard(i) for i in range(self.n_shards)]
+        # the base class's _heap is unused for storage; replace it with a
+        # proxy so EventHandle.cancel's compaction ratio stays meaningful
+        self._heap = _TotalPending(self._shards)  # type: ignore[assignment]
+        #: explicit lookahead override (seconds); None = derive from config
+        self._lookahead_override = lookahead
+        self.lookahead = lookahead if lookahead is not None else 0.0
+        self.min_lookahead = min_lookahead
+        #: node_id -> shard index (set by bind_machine)
+        self._shard_of_node: list[int] = []
+        self._machine = None
+        #: shard whose event is currently executing (targets plain call_at)
+        self._current = 0
+        # window state
+        self._in_window = False
+        self._window_end = _INF
+        #: per-target-shard exchange buffers, flushed at window barriers
+        self._xbuf: list[list[EventHandle]] = [[] for _ in range(self.n_shards)]
+        # mode + diagnostics
+        self._sequential = self.n_shards == 1
+        self.fallback_reason: Optional[str] = None if not self._sequential else "single-shard"
+        self.windows = 0
+        self.barriers = 0
+        self.exchanged_events = 0
+        self.lookahead_violations = 0
+
+    # ------------------------------------------------------------------ #
+    # machine binding / partition
+    # ------------------------------------------------------------------ #
+    def bind_machine(self, machine) -> None:
+        """Partition ``machine``'s nodes across shards and pick the lookahead.
+
+        Called by :class:`~repro.hardware.machine.Machine` at construction
+        time (any engine exposing ``bind_machine`` gets it).  Nodes are
+        assigned in contiguous blocks — node ``i`` of ``n`` goes to shard
+        ``i * n_shards // n`` — so PE rank order and shard order agree,
+        which keeps t=0 startup ties in the sequential order.
+        """
+        self._machine = machine
+        n_nodes = machine.n_nodes
+        n_shards = min(self.n_shards, n_nodes)
+        self._shard_of_node = [
+            node_id * n_shards // n_nodes for node_id in range(n_nodes)
+        ]
+        if self._lookahead_override is None:
+            cfg = machine.config
+            self.lookahead = 2 * cfg.nic_latency + cfg.hop_latency
+        if self.n_shards == 1:
+            self._fallback("single-shard")
+        elif n_nodes < 2 or n_shards < 2:
+            self._fallback("too-few-nodes")
+        elif not self.lookahead > 0 or self.lookahead < self.min_lookahead:
+            self._fallback(f"lookahead-below-threshold ({self.lookahead!r})")
+        elif machine.faults is not None:
+            self._fallback("faults-installed")
+
+    def shard_of_node(self, node_id: int) -> int:
+        """The shard owning hardware node ``node_id`` (0 before binding)."""
+        if 0 <= node_id < len(self._shard_of_node):
+            return self._shard_of_node[node_id]
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # fallback
+    # ------------------------------------------------------------------ #
+    def _fallback(self, reason: str) -> None:
+        """Degrade to sequential execution (same total order, no windows)."""
+        if not self._sequential:
+            self._sequential = True
+        if self.fallback_reason is None:
+            self.fallback_reason = reason
+        self._flush_exchange()
+
+    def _probe_faults(self) -> bool:
+        """Fault check at window boundaries; True if we just fell back."""
+        m = self._machine
+        if m is None:
+            return False
+        if m.faults is not None:
+            self._fallback("faults-installed")
+            return True
+        if m.network.faulted_links:
+            self._fallback("link-fault-observed")
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # scheduling (overrides)
+    # ------------------------------------------------------------------ #
+    def _push(self, time: float, fn: Callable, args: tuple) -> EventHandle:
+        """Arm one event on the currently-executing shard's queue."""
+        return self._push_shard(self._shards[self._current], time, fn, args)
+
+    def _push_shard(self, shard: _Shard, time: float, fn: Callable,
+                    args: tuple) -> EventHandle:
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(self, time, seq, fn, args)
+        heapq.heappush(shard.heap, (time, seq, handle))
+        return handle
+
+    def call_at_node(self, node_id: int, time: float, fn: Callable,
+                     *args: Any) -> EventHandle:
+        """Schedule an event on the shard owning ``node_id``.
+
+        Cross-shard schedules during a window go through the exchange
+        buffer (flushed at the barrier); a schedule that lands inside the
+        current window is a lookahead violation — executed correctly (the
+        global ``(time, seq)`` order makes direct insertion safe) but
+        counted, because the future multi-process mode cannot allow it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now={self._now}): time travel"
+            )
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time {time!r}")
+        target = self.shard_of_node(node_id)
+        if (not self._in_window) or target == self._current:
+            return self._push_shard(self._shards[target], time, fn, args)
+        if time < self._window_end:
+            # lookahead violation: deliver directly, stay deterministic
+            self.lookahead_violations += 1
+            return self._push_shard(self._shards[target], time, fn, args)
+        # buffered hand-off: seq is stamped now (total order is by call
+        # time), the heap insertion waits for the barrier
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(self, time, seq, fn, args)
+        self._xbuf[target].append(handle)
+        self.exchanged_events += 1
+        return handle
+
+    def _flush_exchange(self) -> None:
+        """Window barrier: move buffered cross-shard events to their heaps."""
+        for target, buf in enumerate(self._xbuf):
+            if not buf:
+                continue
+            heap = self._shards[target].heap
+            for handle in buf:
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    self._retire(handle)
+                    continue
+                heapq.heappush(heap, (handle.time, handle.seq, handle))
+            buf.clear()
+
+    # ------------------------------------------------------------------ #
+    # heap hygiene (overrides)
+    # ------------------------------------------------------------------ #
+    def _compact(self) -> None:
+        for shard in self._shards:
+            heap = shard.heap
+            live = [e for e in heap if not e[2].cancelled]
+            if len(live) != len(heap):
+                for e in heap:
+                    if e[2].cancelled:
+                        self._retire(e[2])
+                heap[:] = live
+                heapq.heapify(heap)
+        # exchange buffers: drop cancelled strays, keep live hand-offs
+        for buf in self._xbuf:
+            if any(h.cancelled for h in buf):
+                for h in buf:
+                    if h.cancelled:
+                        self._retire(h)
+                buf[:] = [h for h in buf if not h.cancelled]
+        self._cancelled = 0
+
+    def _live_head(self, shard: _Shard) -> Optional[tuple[float, int, EventHandle]]:
+        """The shard's next live entry, reaping cancelled ones."""
+        heap = shard.heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                self._retire(entry[2])
+                continue
+            return entry
+        return None
+
+    def _min_shard(self, bound: float = _INF) -> Optional[_Shard]:
+        """The shard holding the globally minimal (time, seq) event < bound."""
+        best: Optional[_Shard] = None
+        best_key: tuple[float, int] | None = None
+        for shard in self._shards:
+            entry = self._live_head(shard)
+            if entry is None:
+                continue
+            key = (entry[0], entry[1])
+            if key[0] < bound and (best_key is None or key < best_key):
+                best, best_key = shard, key
+        return best
+
+    # ------------------------------------------------------------------ #
+    # execution (overrides)
+    # ------------------------------------------------------------------ #
+    def _execute_from(self, shard: _Shard) -> None:
+        """Pop and run the head event of ``shard``."""
+        _, _, handle = heapq.heappop(shard.heap)
+        self._current = shard.index
+        self._now = handle.time
+        self.events_executed += 1
+        fn, args = handle.fn, handle.args
+        self._retire(handle)
+        fn(*args)
+
+    def step(self) -> bool:
+        """Execute the globally next pending event (no windowing)."""
+        shard = self._min_shard()
+        if shard is None:
+            return False
+        self._execute_from(shard)
+        return True
+
+    def run(self, until: float = _INF, max_events: Optional[int] = None) -> float:
+        """Windowed run loop; see the module docstring for the protocol.
+
+        Returns the simulated time at exit, mirroring
+        :meth:`repro.sim.engine.Engine.run` exactly (same ``until``
+        clamping, same ``max_events`` guard semantics, same ``stop()``
+        behaviour) — the only difference is the window bookkeeping.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        self._probe_faults()
+        try:
+            while not self._stopped:
+                first = self._min_shard()
+                if first is None:
+                    if math.isfinite(until) and until > self._now:
+                        self._now = until
+                    break
+                t_min = self._live_head(first)[0]  # type: ignore[index]
+                if t_min > until:
+                    self._now = until
+                    break
+                if self._sequential or not self.lookahead > 0:
+                    # no positive lookahead (e.g. machine not bound yet):
+                    # a window could not admit even its own floor event,
+                    # so run unwindowed — the total order is the same
+                    window_end = _INF
+                else:
+                    window_end = t_min + self.lookahead
+                    self._in_window = True
+                    self._window_end = window_end
+                    self.windows += 1
+                # merged in-window execution in (time, seq) order
+                while not self._stopped:
+                    shard = self._min_shard(window_end)
+                    if shard is None:
+                        break
+                    head_time = self._live_head(shard)[0]  # type: ignore[index]
+                    if head_time > until:
+                        self._in_window = False
+                        self._flush_exchange()
+                        self._now = until
+                        return self._now
+                    if max_events is not None and executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            "(runaway simulation?)"
+                        )
+                    executed += 1
+                    self._execute_from(shard)
+                # window barrier: hand buffered events to their shards
+                self._in_window = False
+                self._window_end = _INF
+                if not self._sequential:
+                    self.barriers += 1
+                    self._flush_exchange()
+                    self._probe_faults()
+        finally:
+            self._in_window = False
+            self._flush_exchange()
+            self._running = False
+        return self._now
+
+    # ------------------------------------------------------------------ #
+    # introspection (overrides + extras)
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        return sum(len(s.heap) for s in self._shards) + sum(
+            len(b) for b in self._xbuf)
+
+    def peek(self) -> float:
+        shard = self._min_shard()
+        if shard is None:
+            return _INF
+        return self._live_head(shard)[0]  # type: ignore[index]
+
+    def drain(self):  # pragma: no cover - debug aid
+        for shard in self._shards:
+            while shard.heap:
+                yield heapq.heappop(shard.heap)[2]
+        for buf in self._xbuf:
+            while buf:
+                yield buf.pop()
+        self._cancelled = 0
+
+    def shard_stats(self) -> dict[str, Any]:
+        """Window/exchange counters for reports and regression tests."""
+        return {
+            "n_shards": self.n_shards,
+            "lookahead_s": self.lookahead,
+            "sequential": self._sequential,
+            "fallback_reason": self.fallback_reason,
+            "windows": self.windows,
+            "barriers": self.barriers,
+            "exchanged_events": self.exchanged_events,
+            "lookahead_violations": self.lookahead_violations,
+            "shard_pending": [len(s.heap) for s in self._shards],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        mode = "sequential" if self._sequential else f"{self.n_shards}-shard"
+        return (f"<ShardedEngine {mode} lookahead={self.lookahead:.2e} "
+                f"windows={self.windows} pending={self.pending}>")
