@@ -42,6 +42,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import pathlib
 import statistics
 import sys
@@ -171,14 +172,25 @@ _WARMED: set = set()
 
 
 def _measure_round(name: str) -> dict:
-    """One timed round of one benchmark — the parallel work unit."""
+    """One timed round of one benchmark — the parallel work unit.
+
+    Under ``--sanitize`` / ``REPRO_SANITIZE=1`` every machine the round
+    builds carries a lifecycle sanitizer; this runs in each worker
+    process, so the audit also covers ``--jobs N`` fan-out.
+    """
+    from repro import sanitize
+
     fn = BENCHMARKS[name]
     if name not in _WARMED:
         fn()  # warm-up: imports, lazy caches, allocator steady state
         _WARMED.add(name)
+    sanitize.clear_registry()  # audit only the timed round below
     t0 = time.process_time()
     sim = fn()
     wall = time.process_time() - t0
+    if sanitize.sanitize_requested():
+        sanitize.assert_clean(f"benchmark {name}")
+        sanitize.clear_registry()
     return {"wall_s": wall, "sim": sim, "checksum": checksum(sim)}
 
 
@@ -295,7 +307,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for the timed rounds "
                         "(default: $REPRO_BENCH_JOBS or 1; 0 = all cores)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run every benchmark under the lifecycle sanitizer "
+                        "(sets REPRO_SANITIZE=1; fails on any violation). "
+                        "Timings will not be comparable to unsanitized runs.")
     args = p.parse_args(argv)
+
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
 
     report = run_all(args.rounds, args.label, jobs=args.jobs)
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

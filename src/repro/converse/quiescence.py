@@ -61,16 +61,21 @@ class QuiescenceDetector:
     def _wave_down(self, pe: PE, msg: Message) -> None:
         for child in self.tree.children(pe.rank):
             self.conv.send(pe, child, Message(self._h_down, pe.rank, child, 16))
-        if next(self.tree.children(pe.rank), None) is None:
-            self._send_up(pe, self.sent[pe.rank], self.processed[pe.rank], 1)
-            return
-        self._wave_acc[pe.rank] = (
-            self.sent[pe.rank], self.processed[pe.rank], 1)
+        # contribute this PE's own counters to the wave.  This MERGES into
+        # the accumulator rather than overwriting it: a child's up-message
+        # can overtake the parent's own down-message (out-of-order
+        # delivery), and an overwrite here would silently discard that
+        # child's contribution, stalling the wave forever.
+        self._wave_merge(pe, self.sent[pe.rank], self.processed[pe.rank], 1)
 
     def _wave_up(self, pe: PE, msg: Message) -> None:
         s, p, k = msg.payload
-        acc_s, acc_p, acc_k = self._wave_acc.get(
-            pe.rank, (self.sent[pe.rank], self.processed[pe.rank], 1))
+        self._wave_merge(pe, s, p, k)
+
+    def _wave_merge(self, pe: PE, s: int, p: int, k: int) -> None:
+        """Fold one contribution (own counters or a child subtree) into the
+        wave accumulator; forward up once the whole subtree has reported."""
+        acc_s, acc_p, acc_k = self._wave_acc.get(pe.rank, (0, 0, 0))
         acc_s, acc_p, acc_k = acc_s + s, acc_p + p, acc_k + k
         expected = 1 + sum(self.tree.subtree_size(c)
                            for c in self.tree.children(pe.rank))

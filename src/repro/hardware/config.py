@@ -194,6 +194,15 @@ class MachineConfig:
     udreg_lookup_cpu: float = 0.25 * us
 
     # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    #: install the lifecycle sanitizer (:mod:`repro.sanitize`) on machines
+    #: built with this config.  Observer-only: simulated timings and all
+    #: benchmark checksums are bit-identical with it on or off.  Also
+    #: enabled process-wide by ``REPRO_SANITIZE=1``.
+    sanitize: bool = False
+
+    # ------------------------------------------------------------------ #
     # Derived cost helpers
     # ------------------------------------------------------------------ #
     def t_malloc(self, nbytes: int) -> float:

@@ -24,6 +24,7 @@ from repro.hardware.nic import GeminiNIC
 from repro.hardware.node import Node
 from repro.hardware.router import TorusNetwork
 from repro.hardware.topology import Torus3D
+from repro.sanitize import Sanitizer, sanitize_requested
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
@@ -59,6 +60,15 @@ class Machine:
         #: ``None`` (the default) keeps every layer on its exact fault-free
         #: fast path — no RNG draws, no timing changes
         self.faults = None
+        #: lifecycle sanitizer (:mod:`repro.sanitize`); ``None`` (the
+        #: default) keeps every hook site on its zero-cost fast path.
+        #: Observer-only when installed: simulated results are unchanged.
+        self.sanitizer = None
+        if self.config.sanitize or sanitize_requested():
+            self.sanitizer = Sanitizer(self)
+        # completion queues reach the sanitizer through the engine (they
+        # have no machine reference)
+        self.engine.sanitizer = self.sanitizer
         self.nodes: list[Node] = []
         cpn = self.config.cores_per_node
         for node_id in range(n_nodes):

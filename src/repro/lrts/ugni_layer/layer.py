@@ -141,6 +141,37 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
         }
         if self.lcfg.reliability:
             self._rel_setup()
+        san = self.machine.sanitizer
+        if san is not None:
+            san.add_quiescence_check(self._sanitize_scan)
+
+    def _sanitize_scan(self, san) -> None:
+        """Layer-level lifecycle checks run when the engine drains."""
+        if self.machine.faults is not None:
+            # injected loss legitimately strands protocol state (give-up
+            # paths); lifecycle complaints would all be false positives
+            return
+        for (src, dst), q in self._pending.items():
+            if q:
+                san.report(
+                    "undelivered-message", f"layer.pending[{src}->{dst}]",
+                    f"{len(q)} send(s) still waiting for SMSG credits")
+        for handle in self._persistent.values():
+            impl = handle.impl
+            if impl.queued:
+                san.report(
+                    "stuck-persistent", f"persistent[{handle.id}]",
+                    f"{len(impl.queued)} queued send(s), channel never ready")
+            elif impl.closing:
+                san.report(
+                    "stuck-persistent", f"persistent[{handle.id}]",
+                    "destroy deferred forever (channel never quiesced)")
+        for pool in self._pools.values():
+            if pool.live_blocks:
+                san.report(
+                    "pool-leak", f"mempool[{pool.name}]",
+                    f"{pool.live_blocks} block(s) ({pool.live_bytes} B) "
+                    f"still allocated at quiescence")
 
     # -- memory pools (lazy per PE, or per node in smp mode) ------------------------
     def _pool_for(self, pe: PE) -> MemoryPool:

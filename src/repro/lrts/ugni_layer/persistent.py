@@ -31,7 +31,8 @@ PERSIST_READY_TAG = 41
 class _PersistImpl:
     """Machine-layer-private state hanging off a PersistentHandle."""
 
-    __slots__ = ("src_block", "src_handle", "dst_block", "dst_handle", "queued")
+    __slots__ = ("src_block", "src_handle", "dst_block", "dst_handle", "queued",
+                 "inflight", "closing")
 
     def __init__(self) -> None:
         self.src_block = None
@@ -40,6 +41,11 @@ class _PersistImpl:
         self.dst_handle = None
         #: sends issued before the channel became ready
         self.queued: list[Message] = []
+        #: PUTs posted but not yet locally completed (or abandoned)
+        self.inflight = 0
+        #: destroy_persistent was called; teardown happens once the
+        #: channel quiesces
+        self.closing = False
 
 
 class PersistentMixin:
@@ -60,6 +66,9 @@ class PersistentMixin:
             src_pe.node.node_id, total)
         src_pe.charge(cost, "overhead")
         impl.src_block, impl.src_handle = block, mem_handle
+        san = self.machine.sanitizer
+        if san is not None:
+            san.root_region(mem_handle, f"persistent[{handle.id}].src")
         self._persistent[handle.id] = handle
         self._smsg_control(src_pe, dst_rank, PERSIST_SETUP_TAG, handle)
         return handle
@@ -72,6 +81,9 @@ class PersistentMixin:
         block, mem_handle, cost = self.gni.malloc_registered(pe.node.node_id, total)
         pe.charge(cost, "overhead")
         impl.dst_block, impl.dst_handle = block, mem_handle
+        san = self.machine.sanitizer
+        if san is not None:
+            san.root_region(mem_handle, f"persistent[{handle.id}].dst")
         self._smsg_control(pe, handle.src_rank, PERSIST_READY_TAG, handle)
 
     def _on_persist_ready(self, pe: PE, handle: PersistentHandle) -> None:
@@ -81,6 +93,10 @@ class PersistentMixin:
         queued, impl.queued = impl.queued, []
         for msg in queued:
             self._persistent_put(pe, handle, msg)
+        # a destroy issued before the handshake completed was deferred
+        # until the channel had buffers to release on both ends
+        if impl.closing:
+            self._try_persist_finalize(pe, handle)
 
     # -- data path -----------------------------------------------------------------
     def send_persistent(self, src_pe: PE, handle: PersistentHandle,
@@ -95,6 +111,8 @@ class PersistentMixin:
                 f"message of {msg.nbytes} B exceeds persistent channel "
                 f"max of {handle.max_bytes} B"
             )
+        if handle.impl.closing:
+            raise LrtsError("send on a persistent channel being destroyed")
         msg.sent_at = src_pe.vtime
         src_pe.charge(self.cfg.converse_send_cpu, "overhead")
         self.conv.messages_sent += 1
@@ -108,6 +126,7 @@ class PersistentMixin:
         impl: _PersistImpl = handle.impl
         total = msg.nbytes + LRTS_ENVELOPE
         handle.sends += 1
+        impl.inflight += 1
         desc = PostDescriptor(
             post_type=PostType.PUT,
             local_mem=impl.src_handle,
@@ -130,8 +149,11 @@ class PersistentMixin:
             # (re-armed by the retry path) and later sends still work —
             # count the abandonment so the application can see it
             self.persistent_failed += 1
+            impl.inflight -= 1
             self._rel_trace("persist_send_failed", where=pe2.rank,
                             channel=handle.id)
+            if impl.closing:
+                self._try_persist_finalize(pe2, handle)
 
         # guarded with re-arm: a failed PUT deregisters + re-registers the
         # pinned send window before the retry (its state is undefined)
@@ -142,7 +164,10 @@ class PersistentMixin:
 
     def _on_persist_done(self, pe: PE, payload) -> None:
         handle, msg = payload
+        handle.impl.inflight -= 1
         self._smsg_control(pe, handle.dst_rank, PERSISTENT_TAG, (handle, msg))
+        if handle.impl.closing:
+            self._try_persist_finalize(pe, handle)
 
     def _on_persistent_tag(self, pe: PE, payload) -> None:
         """Receiver: the PUT has landed; hand the message to Converse."""
@@ -151,19 +176,42 @@ class PersistentMixin:
 
     # -- teardown -------------------------------------------------------------
     def destroy_persistent(self, src_pe: PE, handle: PersistentHandle) -> None:
-        """Release both pinned buffers (cost charged to the caller)."""
+        """Release both pinned buffers (cost charged to the caller).
+
+        Teardown is *deferred* while the channel still has work in the air:
+        freeing the pinned send window under an in-flight PUT is a
+        use-after-free on real hardware, and destroying before the
+        handshake answered would leak the receiver-side buffer.  The actual
+        release happens in :meth:`_try_persist_finalize` once the channel
+        quiesces.  Calling destroy twice is a no-op.
+        """
         impl: _PersistImpl = handle.impl
         if impl.queued:
             raise LrtsError("destroying a persistent channel with queued sends")
+        if impl.closing:
+            return
+        impl.closing = True
+        self._try_persist_finalize(src_pe, handle)
+
+    def _try_persist_finalize(self, pe: PE, handle: PersistentHandle) -> None:
+        """Complete a deferred destroy once the channel has quiesced."""
+        impl: _PersistImpl = handle.impl
+        if not impl.closing or impl.inflight or impl.queued:
+            return
+        if not handle.ready and impl.dst_block is None and impl.src_block is not None:
+            # handshake still pending: wait for PERSIST_READY so the
+            # receiver-side buffer exists to be torn down
+            return
         if impl.src_block is not None:
-            src_pe.charge(
+            pe.charge(
                 self.gni.free_registered(impl.src_block, impl.src_handle),
                 "overhead")
             impl.src_block = None
         if impl.dst_block is not None:
             # receiver-side release; charge there via a protocol message
-            self._smsg_control(src_pe, handle.dst_rank, PERSIST_TEARDOWN_TAG, handle)
+            self._smsg_control(pe, handle.dst_rank, PERSIST_TEARDOWN_TAG, handle)
         handle.ready = False
+        impl.closing = False
         self._persistent.pop(handle.id, None)
 
     def _on_persist_teardown(self, pe: PE, handle: PersistentHandle) -> None:

@@ -303,6 +303,9 @@ class ReliabilityMixin:
         pe.charge(self.gni.MemDeregister(impl.src_handle), "overhead")
         new_handle, cost = self.gni.MemRegister(impl.src_block)
         pe.charge(cost, "overhead")
+        san = self.machine.sanitizer
+        if san is not None:
+            san.root_region(new_handle, f"persistent[{handle.id}].src")
         impl.src_handle = new_handle
         desc.local_mem = new_handle
         self.persistent_rearms += 1

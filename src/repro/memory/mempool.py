@@ -93,6 +93,7 @@ class MemoryPool:
         self.config = self.machine.config
         self.node_id = node_id
         self.name = name
+        self._san = self.machine.sanitizer
         self.initial_bytes = initial_bytes or self.config.mempool_initial_bytes
         self.expand_bytes = expand_bytes or self.config.mempool_expand_bytes
         self.arenas: list[_Arena] = []
@@ -101,6 +102,8 @@ class MemoryPool:
         self.setup_cost = self._add_arena(self.initial_bytes)
         #: one-time expansion costs incurred so far (diagnostics)
         self.expansions = 0
+        #: empty expansion arenas returned to the node (diagnostics)
+        self.arenas_released = 0
         self.live_blocks = 0
         self.live_bytes = 0
         self.total_allocs = 0
@@ -109,6 +112,8 @@ class MemoryPool:
     def _add_arena(self, nbytes: int) -> float:
         block, handle, cost = self.gni.malloc_registered(self.node_id, nbytes)
         self.arenas.append(_Arena(block, handle))
+        if self._san is not None:
+            self._san.root_region(handle, f"pool-arena:{self.name}")
         return cost
 
     # -- API ---------------------------------------------------------------------
@@ -139,7 +144,7 @@ class MemoryPool:
         self.live_blocks += 1
         self.live_bytes += inner.size
         self.total_allocs += 1
-        return PoolBlock(
+        block = PoolBlock(
             addr=arena.base + inner.addr,
             size=inner.size,
             node_id=self.node_id,
@@ -147,16 +152,43 @@ class MemoryPool:
             arena=arena,
             inner=inner,
         )
+        if self._san is not None:
+            self._san.on_pool_alloc(self, block)
+        return block
 
     def free(self, block: PoolBlock) -> float:
-        """Return a block to its arena; returns cpu cost."""
+        """Return a block to its arena; returns cpu cost.
+
+        Rejects double frees and blocks that belong to a different pool (or
+        to an arena this pool already released) — handing a foreign block to
+        ``NodeMemory.free`` would corrupt the arena free list.  An expansion
+        arena that empties out is returned to the node, so transient bursts
+        do not pin registered memory forever.
+        """
         if block.freed:
+            if self._san is not None:
+                self._san.on_pool_double_free(self, block)
             raise MemoryError_(f"double free of {block!r}")
+        arena = block._arena
+        if not any(a is arena for a in self.arenas):
+            if self._san is not None:
+                self._san.on_pool_foreign_free(self, block)
+            raise MemoryError_(
+                f"free of {block!r}: block does not belong to pool {self.name}"
+            )
+        if self._san is not None:
+            self._san.on_pool_free(self, block)
         block.freed = True
-        block._arena.alloc.free(block._inner)
+        arena.alloc.free(block._inner)
         self.live_blocks -= 1
         self.live_bytes -= block.size
-        return self.config.mempool_free_cpu
+        cost = self.config.mempool_free_cpu
+        if arena.alloc.used == 0 and arena is not self.arenas[0]:
+            # empty expansion arena: give the registration and memory back
+            self.arenas.remove(arena)
+            cost += self.gni.free_registered(arena.block, arena.handle)
+            self.arenas_released += 1
+        return cost
 
     def destroy(self) -> float:
         """Tear the pool down, returning all node memory; returns cpu cost."""

@@ -43,11 +43,15 @@ class RegistrationCache:
         self.capacity = capacity or self.config.udreg_capacity
         if self.capacity < 1:
             raise UgniInvalidParam("registration cache capacity must be >= 1")
+        self._san = gni.machine.sanitizer
         #: key: (addr, size) -> entry, in LRU order (last = most recent)
         self._entries: "OrderedDict[tuple[int, int], _Entry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: stale entries purged because their handle was invalidated
+        #: behind the cache's back (e.g. a direct MemDeregister)
+        self.stale_purges = 0
 
     def lookup(self, block: MemoryBlock, pin: bool = True) -> tuple[MemHandle, float]:
         """Get a valid registration covering ``block``; returns cpu cost.
@@ -64,12 +68,27 @@ class RegistrationCache:
         cost = self.config.udreg_lookup_cpu
         key = (block.addr, block.size)
         entry = self._entries.get(key)
-        if entry is not None and entry.handle.valid:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            if pin:
-                entry.pins += 1
-            return entry.handle, cost
+        if entry is not None:
+            if entry.handle.valid:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if pin:
+                    entry.pins += 1
+                return entry.handle, cost
+            # the handle was invalidated behind the cache's back; a pinned
+            # entry means an in-flight transaction just lost its
+            # registration, which must be loud, not a silent re-register
+            if entry.pins:
+                if self._san is not None:
+                    self._san.report(
+                        "pinned-eviction", f"regcache[{self.node_id}]",
+                        f"entry {key} invalidated with {entry.pins} pin(s)")
+                raise UgniInvalidParam(
+                    f"registration cache entry {key} on node {self.node_id} "
+                    f"was invalidated while pinned ({entry.pins} pin(s))"
+                )
+            del self._entries[key]
+            self.stale_purges += 1
 
         # miss: evict if at capacity (oldest unpinned entry)
         self.misses += 1
@@ -81,11 +100,16 @@ class RegistrationCache:
                 # as uDREG does under pressure
                 break
             victim = self._entries.pop(victim_key)
-            cost += self.gni.MemDeregister(victim.handle)
+            if victim.handle.valid:
+                cost += self.gni.MemDeregister(victim.handle)
+            else:
+                self.stale_purges += 1
             self.evictions += 1
 
         handle, reg_cost = self.gni.MemRegister(block)
         cost += reg_cost
+        if self._san is not None:
+            self._san.root_region(handle, f"regcache[{self.node_id}]")
         entry = _Entry(handle, block)
         if pin:
             entry.pins += 1
@@ -114,7 +138,15 @@ class RegistrationCache:
         if entry is None:
             return 0.0
         if entry.pins:
+            if self._san is not None:
+                self._san.report(
+                    "pinned-eviction", f"regcache[{self.node_id}]",
+                    f"invalidate of {key} with {entry.pins} pin(s)")
+            self._entries[key] = entry  # keep the pinned entry intact
             raise UgniInvalidParam("invalidating a pinned registration")
+        if not entry.handle.valid:
+            self.stale_purges += 1
+            return 0.0
         return self.gni.MemDeregister(entry.handle)
 
     def __len__(self) -> int:

@@ -349,6 +349,7 @@ class ShardedEngine(Engine):
                 if first is None:
                     if math.isfinite(until) and until > self._now:
                         self._now = until
+                    self._notify_drained()
                     break
                 t_min = self._live_head(first)[0]  # type: ignore[index]
                 if t_min > until:

@@ -1,0 +1,29 @@
+"""``repro.sanitize`` — opt-in lifecycle sanitizer for the simulated machine.
+
+See :mod:`repro.sanitize.core` for the shadow-state model.  Enable with
+``MachineConfig(sanitize=True)`` or ``REPRO_SANITIZE=1``; the default
+(``machine.sanitizer is None``) keeps every layer on its exact zero-cost
+fast path and the benchmark checksums bit-identical.
+"""
+
+from repro.sanitize.core import (
+    Sanitizer,
+    SanitizeViolation,
+    Violation,
+    active_sanitizers,
+    assert_clean,
+    clear_registry,
+    collect,
+    sanitize_requested,
+)
+
+__all__ = [
+    "Sanitizer",
+    "SanitizeViolation",
+    "Violation",
+    "active_sanitizers",
+    "assert_clean",
+    "clear_registry",
+    "collect",
+    "sanitize_requested",
+]

@@ -103,6 +103,10 @@ class Engine:
         assert eng.now >= 1e-6
     """
 
+    #: lifecycle sanitizer (:mod:`repro.sanitize`), set by the machine
+    #: that owns this engine; ``None`` skips the quiescence checks
+    sanitizer = None
+
     def __init__(self) -> None:
         self._now = 0.0
         #: entries are (time, seq, EventHandle); seq is unique so tuple
@@ -280,13 +284,22 @@ class Engine:
                     pool.append(handle)
                 fn(*args)
             else:
-                if not heap and math.isfinite(until) and until > self._now:
-                    # Drained before the horizon: advance the clock to it so
-                    # repeated run(until=...) calls observe monotonic time.
-                    self._now = until
+                if not heap:
+                    if math.isfinite(until) and until > self._now:
+                        # Drained before the horizon: advance the clock to
+                        # it so repeated run(until=...) calls observe
+                        # monotonic time.
+                        self._now = until
+                    self._notify_drained()
         finally:
             self._running = False
         return self._now
+
+    def _notify_drained(self) -> None:
+        """Quiescence hook: the heap drained (not a ``stop()`` exit)."""
+        san = self.sanitizer
+        if san is not None and not self._stopped:
+            san.on_engine_drained(self._now)
 
     def stop(self) -> None:
         """Request :meth:`run` to return after the current callback."""

@@ -29,7 +29,8 @@ class GniJob:
     def __init__(self, machine: Machine):
         self.machine = machine
         self.registrations: dict[int, RegistrationTable] = {
-            node.node_id: RegistrationTable(node.node_id, machine.config)
+            node.node_id: RegistrationTable(node.node_id, machine.config,
+                                            sanitizer=machine.sanitizer)
             for node in machine.nodes
         }
         self.rdma = RdmaEngine(machine, self.registrations)

@@ -77,6 +77,9 @@ class CompletionQueue:
             self.error_events += 1
         self._entries.append(entry)
         self.total_events += 1
+        san = self.engine.sanitizer
+        if san is not None:
+            san.on_cq_push(self, entry)
         if overrun:
             # explicit overrun marker, queued right after the event that hit
             # the full queue (the counter and these entries always agree)
@@ -91,7 +94,11 @@ class CompletionQueue:
     def get_event(self) -> Optional[CqEntry]:
         """``GNI_CqGetEvent``: pop the oldest entry, or None (NOT_DONE)."""
         if self._entries:
-            return self._entries.popleft()
+            entry = self._entries.popleft()
+            san = self.engine.sanitizer
+            if san is not None:
+                san.on_cq_pop(self, entry)
+            return entry
         return None
 
     def peek(self) -> Optional[CqEntry]:

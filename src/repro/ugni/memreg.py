@@ -50,9 +50,11 @@ class MemHandle:
 class RegistrationTable:
     """All registered regions on one node."""
 
-    def __init__(self, node_id: int, config: MachineConfig):
+    def __init__(self, node_id: int, config: MachineConfig, sanitizer=None):
         self.node_id = node_id
         self.config = config
+        #: lifecycle sanitizer observer (None = zero-cost fast path)
+        self._san = sanitizer
         self._handles: set[MemHandle] = set()
         self.registered_bytes = 0
         #: lifetime counters (EXPERIMENTS.md reports these for ablations)
@@ -80,14 +82,21 @@ class RegistrationTable:
         self._handles.add(handle)
         self.registered_bytes += length
         self.total_registrations += 1
+        if self._san is not None:
+            self._san.on_register(handle)
         return handle, self.config.t_register(length)
 
     def deregister(self, handle: MemHandle) -> float:
         """``GNI_MemDeregister``: invalidates the handle, returns cpu cost."""
         if not handle.valid:
+            if self._san is not None:
+                # record the double-deregister before the loud failure
+                self._san.on_deregister(handle)
             raise UgniInvalidParam(f"double deregistration of {handle!r}")
         if handle not in self._handles:
             raise UgniInvalidParam(f"{handle!r} not registered on node {self.node_id}")
+        if self._san is not None:
+            self._san.on_deregister(handle)
         handle.valid = False
         self._handles.discard(handle)
         self.registered_bytes -= handle.length

@@ -86,8 +86,13 @@ class RdmaEngine:
         """
         if desc.post_type is PostType.AMO:
             return self._post_amo(initiator_node, desc)
-        self._validate(desc, initiator_node)
         machine = self.machine
+        san = machine.sanitizer
+        if san is not None:
+            # post-time use-after-free screen, recorded before the
+            # registration table's own loud validation below
+            san.on_rdma_check(desc, initiator_node)
+        self._validate(desc, initiator_node)
         node = machine.nodes[initiator_node]
         peer = machine.nodes[desc.remote_mem.node_id]
         put = desc.post_type is PostType.PUT
@@ -108,6 +113,14 @@ class RdmaEngine:
                 desc.src_cq.push(CqEntry(
                     CqEventKind.POST_DONE, t, tag=desc.id, data=desc,
                     source=initiator_node))
+
+        if san is not None:
+            token = san.on_rdma_post(desc, initiator_node)
+            inner_local = on_local_cq
+
+            def on_local_cq(t: float, _inner=inner_local, _tok=token) -> None:
+                san.on_rdma_retire(_tok, t)
+                _inner(t)
 
         on_remote = None
         if put and desc.remote_mem.cq is not None:
@@ -135,8 +148,12 @@ class RdmaEngine:
                      faults, at: Optional[float]) -> float:
         """Fault-injected transaction: error completion instead of data."""
         self.posts_failed += 1
+        san = self.machine.sanitizer
+        token = san.on_rdma_post(desc, node.node_id) if san is not None else None
 
         def on_error(t: float) -> None:
+            if token is not None:
+                san.on_rdma_retire(token, t)
             if desc.src_cq is not None:
                 desc.src_cq.push(CqEntry(
                     CqEventKind.ERROR, t, tag=desc.id, data=desc,
@@ -162,6 +179,9 @@ class RdmaEngine:
 
     def _post_amo(self, initiator_node: int, desc: PostDescriptor) -> float:
         """Atomic memory operation: modelled as an 8-byte FMA round trip."""
+        san = self.machine.sanitizer
+        if san is not None:
+            san.on_rdma_check(desc, initiator_node)
         self._validate(
             PostDescriptor(
                 post_type=PostType.GET,

@@ -89,6 +89,9 @@ class SmsgFabric:
         #: fault-injection counters (fabric-wide)
         self.dropped = 0
         self.stalled = 0
+        san = machine.sanitizer
+        if san is not None:
+            san.register_fabric(self)
 
     # -- setup ---------------------------------------------------------------
     def rx_cq(self, pe: int) -> CompletionQueue:
@@ -153,6 +156,9 @@ class SmsgFabric:
         conn.sent += 1
         msg = SmsgMessage(src_pe, dst_pe, tag, nbytes, payload)
         machine = self.machine
+        san = machine.sanitizer
+        if san is not None:
+            san.on_smsg_send(msg)
         src_node = machine.node_of_pe(src_pe)
         dst_node = machine.node_of_pe(dst_pe)
         cq = self._rx_cqs.get(dst_pe)
@@ -178,6 +184,8 @@ class SmsgFabric:
                     # mailbox credit is reclaimed when the delivery attempt
                     # resolves, so the sender's flow control stays sound
                     conn.release_credit(msg.nbytes)
+                    if san is not None:
+                        san.on_smsg_drop(msg)
 
                 return src_node.nic.smsg_send(dst_node.coord,
                                               nbytes + SMSG_HEADER,
@@ -217,6 +225,9 @@ class SmsgFabric:
         msg: SmsgMessage = entry.data
         self._connections[(msg.src_pe, msg.dst_pe)].release_credit(msg.nbytes)
         self.consumed += 1
+        san = self.machine.sanitizer
+        if san is not None:
+            san.on_smsg_consume(msg)
         cpu = cfg.smsg_recv_cpu + cfg.t_memcpy(msg.nbytes)
         return msg, cpu
 

@@ -1,0 +1,46 @@
+"""Shared pytest wiring: the lifecycle-sanitizer guard.
+
+When the suite runs under ``REPRO_SANITIZE=1`` every test's machines build
+a :class:`repro.sanitize.Sanitizer`, and this guard fails any test whose
+sanitizers recorded a violation during the run.  Tests that *seed*
+violations on purpose opt out with ``@pytest.mark.sanitize_violations``.
+
+Plain pytest hooks (not an autouse fixture) keep hypothesis's
+``function_scoped_fixture`` health check quiet for the property tests.
+"""
+
+import pytest
+
+from repro import sanitize
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "sanitize_violations: this test intentionally triggers lifecycle "
+        "sanitizer violations; the sanitizer guard must not fail it",
+    )
+
+
+def pytest_runtest_setup(item):
+    # every test starts with a clean slate of tracked sanitizers
+    sanitize.clear_registry()
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_teardown(item, nextitem):
+    # wrap so pytest's own teardown (fixture finalizers, SetupState pops)
+    # completes before the guard can fail the test
+    result = yield
+    sanitizers = sanitize.active_sanitizers()
+    problems = sanitize.collect()
+    sanitize.clear_registry()
+    if (sanitizers and problems
+            and item.get_closest_marker("sanitize_violations") is None):
+        lines = "\n".join(f"  {v}" for v in problems)
+        pytest.fail(
+            f"lifecycle sanitizer recorded {len(problems)} violation(s) "
+            f"during this test:\n{lines}",
+            pytrace=False,
+        )
+    return result

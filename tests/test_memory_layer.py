@@ -61,6 +61,7 @@ class TestMemoryPool:
         big, _ = pool.alloc(1 * MB)  # bigger than expand_bytes
         assert big.size >= 1 * MB
 
+    @pytest.mark.sanitize_violations
     def test_double_free_rejected(self):
         m, job = make_job()
         pool = MemoryPool(job, node_id=0, initial_bytes=1 * MB)
@@ -169,6 +170,7 @@ class TestRegistrationCache:
         assert not h.valid
         assert len(cache) == 0
 
+    @pytest.mark.sanitize_violations
     def test_invalidate_pinned_rejected(self):
         m, job = make_job()
         cache = RegistrationCache(job, node_id=0)

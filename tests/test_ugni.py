@@ -68,6 +68,7 @@ class TestMemRegistration:
         _, cost_big = job.MemRegister(big)
         assert cost_big > cost_small > 0
 
+    @pytest.mark.sanitize_violations
     def test_deregister_invalidates(self):
         m, job = make_job()
         blk = m.nodes[0].memory.malloc(4 * KB)
@@ -263,6 +264,7 @@ class TestRdma:
         assert job.CqGetEvent(src_cq) is not None
         assert job.CqGetEvent(dst_cq) is None
 
+    @pytest.mark.sanitize_violations
     def test_unregistered_memory_rejected(self):
         m, job = make_job()
         lh, rh = self._registered_pair(job, m, 4 * KB)
