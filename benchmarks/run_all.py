@@ -50,8 +50,10 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.apps.collectives_app import run_alltoallv
 from repro.apps.kneighbor import kneighbor
 from repro.apps.pingpong import charm_pingpong
+from repro.hardware.config import MachineConfig
 from repro.parallel import ShardedEngine, SweepPoint, resolve_jobs, run_sweep
 from repro.sim import Engine
 from repro.units import KB, MB
@@ -139,12 +141,70 @@ def bench_sharded_kneighbor() -> dict[str, float]:
     }
 
 
+def bench_crosslayer() -> dict:
+    """Cross-fabric comparison: the same workloads on ugni, mpi, and rdma.
+
+    Ping-pong latency/bandwidth plus the persistent alltoallv on each
+    registered layer (rdma runs on a dragonfly machine).  The alltoallv
+    content digest must be bit-identical across layers — swapping the
+    fabric may only change timing, never results — and is folded into the
+    metrics so cross-layer drift shows up as checksum drift.
+    """
+    fabrics = {
+        "ugni": None,
+        "mpi": None,
+        "rdma": MachineConfig(topology="dragonfly"),
+    }
+    out: dict = {}
+    digests: dict[str, str] = {}
+    for layer, cfg in fabrics.items():
+        small = charm_pingpong(64, layer=layer, config=cfg, iters=200)
+        big = charm_pingpong(512 * KB, layer=layer, config=cfg, iters=100)
+        a2a = run_alltoallv(n_pes=8, layer=layer, algorithm="persistent",
+                            config=cfg)
+        out[f"{layer}_latency_64B_s"] = small.one_way_latency
+        out[f"{layer}_bandwidth_512KB_Bps"] = big.bandwidth
+        out[f"{layer}_alltoallv_8pe_s"] = a2a.time
+        digests[layer] = a2a.digest
+    if len(set(digests.values())) != 1:
+        raise RuntimeError(
+            f"alltoallv results differ across machine layers: {digests}")
+    out["alltoallv_digest"] = digests["ugni"]
+    return out
+
+
 BENCHMARKS = {
     "pingpong": bench_pingpong,
     "kneighbor": bench_kneighbor,
     "engine_events": bench_engine_events,
     "sharded_kneighbor": bench_sharded_kneighbor,
+    "crosslayer": bench_crosslayer,
 }
+
+#: machine layers each benchmark exercises — what ``--layers`` filters on
+#: (``engine_events`` touches no layer, so any filter deselects it)
+BENCHMARK_LAYERS = {
+    "pingpong": ("ugni",),
+    "kneighbor": ("ugni",),
+    "engine_events": (),
+    "sharded_kneighbor": ("ugni",),
+    "crosslayer": ("ugni", "mpi", "rdma"),
+}
+
+
+def select_benchmarks(layers: str | None) -> list[str]:
+    """Resolve a ``--layers`` comma list to benchmark names (in run order)."""
+    if not layers:
+        return list(BENCHMARKS)
+    wanted = {s.strip() for s in layers.split(",") if s.strip()}
+    known = {l for tags in BENCHMARK_LAYERS.values() for l in tags}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"--layers: unknown layer(s) {sorted(unknown)} "
+            f"(available: {sorted(known)})")
+    return [name for name in BENCHMARKS
+            if wanted & set(BENCHMARK_LAYERS[name])]
 
 
 # --------------------------------------------------------------------- #
@@ -218,7 +278,9 @@ def run_benchmark(name: str, rounds: int) -> dict:
     return _aggregate(name, [_measure_round(name) for _ in range(rounds)])
 
 
-def run_all(rounds: int, label: str, jobs: int | None = None) -> dict:
+def run_all(rounds: int, label: str, jobs: int | None = None,
+            names: list[str] | None = None) -> dict:
+    selected = list(BENCHMARKS) if names is None else list(names)
     n_jobs = resolve_jobs(jobs)
     calib = statistics.median(calibrate() for _ in range(3))
     report: dict = {
@@ -233,25 +295,42 @@ def run_all(rounds: int, label: str, jobs: int | None = None) -> dict:
     # in submission order, so slicing by benchmark reassembles exactly
     # the sequence a --jobs 1 run produces
     points = [SweepPoint(_measure_round, (name,), label=f"{name}[{i}]")
-              for name in BENCHMARKS for i in range(rounds)]
-    print(f"[bench] {len(points)} rounds across {len(BENCHMARKS)} benchmarks "
+              for name in selected for i in range(rounds)]
+    print(f"[bench] {len(points)} rounds across {len(selected)} benchmarks "
           f"(jobs={n_jobs}) ...", flush=True)
     results = run_sweep(points, jobs=n_jobs)
-    for bi, name in enumerate(BENCHMARKS):
-        entry = _aggregate(name, results[bi * rounds:(bi + 1) * rounds])
+    # a nondeterministic benchmark must not hide drift in the ones after
+    # it: aggregate them all, then fail once listing every offender
+    drifted: list[str] = []
+    for bi, name in enumerate(selected):
+        try:
+            entry = _aggregate(name, results[bi * rounds:(bi + 1) * rounds])
+        except RuntimeError as exc:
+            drifted.append(str(exc))
+            print(f"[bench] {name}: NONDETERMINISTIC", flush=True)
+            continue
         entry["normalized"] = entry["wall_median_s"] / calib
         report["benchmarks"][name] = entry
         print(f"[bench] {name}: median {entry['wall_median_s']:.3f}s "
               f"(normalized {entry['normalized']:.2f}) {entry['checksum'][:23]}",
               flush=True)
+    if drifted:
+        raise RuntimeError(
+            "simulation no longer deterministic in "
+            f"{len(drifted)} benchmark(s):\n  " + "\n  ".join(drifted))
     return report
 
 
 # --------------------------------------------------------------------- #
 # regression check against a committed baseline
 # --------------------------------------------------------------------- #
-def compare(report: dict, baseline: dict, tolerance: float) -> list[str]:
-    """Return a list of human-readable failures (empty = pass)."""
+def compare(report: dict, baseline: dict, tolerance: float,
+            subset: bool = False) -> list[str]:
+    """Return a list of human-readable failures (empty = pass).
+
+    ``subset`` (set by ``--layers``) tolerates baseline entries absent
+    from the current run — a filtered run checks what it ran, no more.
+    """
     failures = []
     if baseline.get("schema") != report["schema"]:
         failures.append(
@@ -268,7 +347,8 @@ def compare(report: dict, baseline: dict, tolerance: float) -> list[str]:
                 f"record it")
             continue
         if cur is None:
-            failures.append(f"{name}: benchmark missing from current run")
+            if not subset:
+                failures.append(f"{name}: benchmark missing from current run")
             continue
         if cur["checksum"] != base.get("checksum"):
             failures.append(
@@ -311,23 +391,35 @@ def main(argv: list[str] | None = None) -> int:
                    help="run every benchmark under the lifecycle sanitizer "
                         "(sets REPRO_SANITIZE=1; fails on any violation). "
                         "Timings will not be comparable to unsanitized runs.")
+    p.add_argument("--layers", metavar="L1,L2",
+                   help="only run benchmarks exercising these machine "
+                        "layers (e.g. --layers rdma); --check then skips "
+                        "baseline entries the filter deselected")
     args = p.parse_args(argv)
 
     if args.sanitize:
         os.environ["REPRO_SANITIZE"] = "1"
 
-    report = run_all(args.rounds, args.label, jobs=args.jobs)
+    names = select_benchmarks(args.layers)
+    if not names:
+        raise SystemExit(f"--layers {args.layers}: no benchmarks selected")
+    report = run_all(args.rounds, args.label, jobs=args.jobs, names=names)
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] wrote {args.out}")
 
     if args.rebase:
+        if args.layers:
+            raise SystemExit(
+                "--rebase with --layers would write a partial baseline; "
+                "rebase from an unfiltered run")
         pathlib.Path(args.rebase).write_text(
             json.dumps(report, indent=2) + "\n")
         print(f"[bench] rebased baseline {args.rebase}")
 
     if args.check:
         baseline = json.loads(pathlib.Path(args.check).read_text())
-        failures = compare(report, baseline, args.tolerance)
+        failures = compare(report, baseline, args.tolerance,
+                           subset=bool(args.layers))
         if failures:
             print(f"[bench] PERF-SMOKE FAILED vs {args.check}:")
             for f in failures:

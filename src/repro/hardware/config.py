@@ -37,6 +37,26 @@ class MachineConfig:
     node_memory_bytes: int = 32 * 1024 * MB
 
     # ------------------------------------------------------------------ #
+    # Interconnect topology
+    # ------------------------------------------------------------------ #
+    #: which fabric geometry the machine is wired as: ``"torus3d"`` (the
+    #: Gemini 3D torus, default — every pre-existing result is on it) or
+    #: ``"dragonfly"`` (the Slingshot-class geometry for the rdma layer)
+    topology: str = "torus3d"
+    #: dragonfly shape; groups=0 derives a balanced shape from the node
+    #: count (see :meth:`Dragonfly.for_nodes`)
+    dragonfly_groups: int = 0
+    dragonfly_routers_per_group: int = 4
+    dragonfly_terminals_per_router: int = 2
+    #: global (optical) ports per router
+    dragonfly_global_links: int = 2
+    #: ``"minimal"`` (l-g-l) or ``"valiant"`` (random-intermediate misroute)
+    dragonfly_routing: str = "minimal"
+    #: per-hop latency of inter-group optical links (longer than the
+    #: electrical intra-group hops)
+    dragonfly_global_latency: float = 0.35 * us
+
+    # ------------------------------------------------------------------ #
     # Torus network
     # ------------------------------------------------------------------ #
     #: per-hop router traversal latency
@@ -194,6 +214,37 @@ class MachineConfig:
     udreg_lookup_cpu: float = 0.25 * us
 
     # ------------------------------------------------------------------ #
+    # RDMA fabric (Slingshot/InfiniBand-class NIC) — repro.lrts.rdma_layer
+    # ------------------------------------------------------------------ #
+    #: largest payload carried inline in the work request itself (no
+    #: buffer touch on the send side; IB-style inline data)
+    rdma_inline_max: int = 220
+    #: eager/rendezvous crossover — deliberately distinct from both the
+    #: uGNI SMSG limit (1 KB) and Cray MPI's eager threshold (8 KB):
+    #: modern NICs run eager through pre-posted receive buffers well into
+    #: the tens of kilobytes
+    rdma_eager_max: int = 16 * KB
+    #: CPU to build a WQE and ring the doorbell (send or RDMA post)
+    rdma_post_cpu: float = 0.12 * us
+    #: CPU to poll a completion and hand the payload up
+    rdma_recv_cpu: float = 0.10 * us
+    #: per-channel wire ceiling for two-sided sends
+    rdma_send_bandwidth: float = 7.0 * GBps
+    #: one-sided RDMA write / read ceilings (the memory-channel path)
+    rdma_write_bandwidth: float = 7.5 * GBps
+    rdma_read_bandwidth: float = 7.0 * GBps
+    #: extra fabric setup on the first byte of an RDMA read (request
+    #: round-trip is modelled explicitly; this is end-point processing)
+    rdma_read_base: float = 0.60 * us
+    #: delay before the initiator's completion after the last byte lands
+    rdma_completion_latency: float = 0.25 * us
+    #: pin-down cache: registered buffers are recycled (lazy
+    #: deregistration, MPICH2-over-IB style) up to this many bytes/node
+    rdma_pin_cache_bytes: int = 16 * MB
+    #: CPU for a pin-down-cache lookup that hits
+    rdma_pin_lookup_cpu: float = 0.08 * us
+
+    # ------------------------------------------------------------------ #
     # Diagnostics
     # ------------------------------------------------------------------ #
     #: install the lifecycle sanitizer (:mod:`repro.sanitize`) on machines
@@ -244,6 +295,15 @@ class MachineConfig:
     def rdma_kind_for(self, nbytes: int) -> str:
         """Which hardware unit a size-aware runtime picks: 'fma' or 'bte'."""
         return "fma" if nbytes < self.fma_bte_crossover else "bte"
+
+    def rdma_path_for(self, nbytes: int) -> str:
+        """The rdma layer's protocol for a total wire size:
+        'inline', 'eager', or 'rendezvous'."""
+        if nbytes <= self.rdma_inline_max:
+            return "inline"
+        if nbytes <= self.rdma_eager_max:
+            return "eager"
+        return "rendezvous"
 
     def replace(self, **kw) -> "MachineConfig":
         """Convenience wrapper over :func:`dataclasses.replace`."""

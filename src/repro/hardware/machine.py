@@ -22,8 +22,8 @@ from repro.errors import TopologyError
 from repro.hardware.config import MachineConfig
 from repro.hardware.nic import GeminiNIC
 from repro.hardware.node import Node
-from repro.hardware.router import TorusNetwork
-from repro.hardware.topology import Torus3D
+from repro.hardware.router import DragonflyNetwork, TorusNetwork
+from repro.hardware.topology import Dragonfly, Torus3D
 from repro.sanitize import Sanitizer, sanitize_requested
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -48,14 +48,27 @@ class Machine:
         self.engine = engine or Engine()
         self.rng = RngRegistry(seed)
         self.trace = trace
-        self.topology = (
-            Torus3D(torus_dims) if torus_dims is not None else Torus3D.for_nodes(n_nodes)
-        )
+        if self.config.topology == "dragonfly":
+            if torus_dims is not None:
+                raise TopologyError(
+                    "torus_dims makes no sense on a dragonfly machine; "
+                    "set the dragonfly_* config fields instead")
+            self.topology = self._build_dragonfly(n_nodes)
+            self.network = DragonflyNetwork(self.topology, self.config)
+        elif self.config.topology == "torus3d":
+            self.topology = (
+                Torus3D(torus_dims) if torus_dims is not None
+                else Torus3D.for_nodes(n_nodes)
+            )
+            self.network = TorusNetwork(self.topology, self.config)
+        else:
+            raise TopologyError(
+                f"unknown topology {self.config.topology!r} "
+                f"(want 'torus3d' or 'dragonfly')")
         if self.topology.volume < n_nodes:
             raise TopologyError(
-                f"torus {self.topology.dims} too small for {n_nodes} nodes"
+                f"topology {self.topology.dims} too small for {n_nodes} nodes"
             )
-        self.network = TorusNetwork(self.topology, self.config)
         #: fault injector, installed by :func:`repro.faults.install_faults`;
         #: ``None`` (the default) keeps every layer on its exact fault-free
         #: fast path — no RNG draws, no timing changes
@@ -87,6 +100,22 @@ class Machine:
         bind = getattr(self.engine, "bind_machine", None)
         if bind is not None:
             bind(self)
+
+    def _build_dragonfly(self, n_nodes: int) -> Dragonfly:
+        cfg = self.config
+        # the RNG stream exists either way; valiant is its only consumer,
+        # so minimal-mode machines draw nothing from it
+        rng = self.rng.stream("valiant")
+        if cfg.dragonfly_groups > 0:
+            return Dragonfly(
+                cfg.dragonfly_groups, cfg.dragonfly_routers_per_group,
+                cfg.dragonfly_terminals_per_router,
+                cfg.dragonfly_global_links,
+                routing=cfg.dragonfly_routing, rng=rng)
+        return Dragonfly.for_nodes(
+            n_nodes, cfg.dragonfly_routers_per_group,
+            cfg.dragonfly_terminals_per_router, cfg.dragonfly_global_links,
+            routing=cfg.dragonfly_routing, rng=rng)
 
     # -- sizing ------------------------------------------------------------
     @property

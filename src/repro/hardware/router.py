@@ -178,12 +178,34 @@ class TorusNetwork:
         _, t = inj.reserve(now, nbytes, min_occ)
         depart = t
 
+        t, hops = self._walk(t, src, dst, nbytes, min_occ)
+
+        # ejection into the destination NIC
+        ej = self._eject.get(dst)
+        if ej is None:
+            ej = self.ejection_port(dst)
+        _, t = ej.reserve(t, nbytes, min_occ)
+        head_arrival = t
+
+        path_bw = cfg.link_bandwidth
+        if bandwidth_cap is not None and bandwidth_cap < path_bw:
+            path_bw = bandwidth_cap
+        arrival = head_arrival + nbytes / path_bw
+        return TransferTiming(depart, head_arrival, arrival, hops)
+
+    def _walk(self, t: float, src: Coord, dst: Coord, nbytes: int,
+              min_occ: float) -> tuple[float, int]:
+        """Reserve every link from ``src`` to ``dst``; returns (time, hops).
+
+        The hop loop behind :meth:`transfer`, reusable for multi-leg routes
+        (Valiant misrouting walks two legs through this).
+        """
         hops = 0
         at = src
         topo = self.topology
         links = self._links
         faulted = self._faulted
-        adaptive = cfg.adaptive_routing
+        adaptive = self.config.adaptive_routing
         hop1 = self._hop1
         while at != dst:
             if not faulted:
@@ -209,19 +231,7 @@ class TorusNetwork:
             _, t = lk.reserve(t, nbytes, min_occ)
             at = nxt
             hops += 1
-
-        # ejection into the destination NIC
-        ej = self._eject.get(dst)
-        if ej is None:
-            ej = self.ejection_port(dst)
-        _, t = ej.reserve(t, nbytes, min_occ)
-        head_arrival = t
-
-        path_bw = cfg.link_bandwidth
-        if bandwidth_cap is not None and bandwidth_cap < path_bw:
-            path_bw = bandwidth_cap
-        arrival = head_arrival + nbytes / path_bw
-        return TransferTiming(depart, head_arrival, arrival, hops)
+        return t, hops
 
     # -- diagnostics ------------------------------------------------------------
     def total_bytes_carried(self) -> int:
@@ -229,3 +239,64 @@ class TorusNetwork:
 
     def hottest_link(self) -> Link | None:
         return max(self._links.values(), key=lambda lk: lk.bytes_carried, default=None)
+
+
+class DragonflyNetwork(TorusNetwork):
+    """Dragonfly fabric on top of the shared link/fault machinery.
+
+    Differences from the torus network:
+
+    * inter-group (optical) router links carry their own, longer latency
+      (:attr:`MachineConfig.dragonfly_global_latency`);
+    * in ``valiant`` routing mode each inter-group message walks two
+      minimal legs — source to a randomly drawn intermediate router in a
+      third group, then on to the destination — spreading adversarial
+      traffic across global links at the cost of path length.  The
+      intermediate comes from the topology's seeded RNG stream, so runs
+      stay bit-reproducible.  With any link fault outstanding the network
+      falls back to minimal routing with down-link avoidance, mirroring
+      the torus's degraded mode.
+    """
+
+    def link(self, frm, to) -> Link:
+        key = (frm, to)
+        lk = self._links.get(key)
+        if lk is None:
+            latency = (self.config.dragonfly_global_latency
+                       if self.topology.is_global_link(frm, to)
+                       else self.config.hop_latency)
+            lk = Link(key, self.config.link_bandwidth, latency)
+            self._links[key] = lk
+        return lk
+
+    def transfer(
+        self,
+        now: float,
+        src: Coord,
+        dst: Coord,
+        nbytes: int,
+        bandwidth_cap: float | None = None,
+        min_occupancy: float | None = None,
+    ) -> TransferTiming:
+        topo = self.topology
+        mid = None
+        if topo.routing == "valiant" and not self._faulted and src != dst:
+            mid = topo.valiant_intermediate(src, dst)
+        if mid is None:
+            return super().transfer(now, src, dst, nbytes,
+                                    bandwidth_cap=bandwidth_cap,
+                                    min_occupancy=min_occupancy)
+        cfg = self.config
+        min_occ = cfg.nic_msg_gap if min_occupancy is None else min_occupancy
+        self.messages_routed += 1
+        _, t = self.injection_port(src).reserve(now, nbytes, min_occ)
+        depart = t
+        t, hops_a = self._walk(t, src, mid, nbytes, min_occ)
+        t, hops_b = self._walk(t, mid, dst, nbytes, min_occ)
+        _, t = self.ejection_port(dst).reserve(t, nbytes, min_occ)
+        head_arrival = t
+        path_bw = cfg.link_bandwidth
+        if bandwidth_cap is not None and bandwidth_cap < path_bw:
+            path_bw = bandwidth_cap
+        arrival = head_arrival + nbytes / path_bw
+        return TransferTiming(depart, head_arrival, arrival, hops_a + hops_b)

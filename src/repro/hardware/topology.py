@@ -16,7 +16,7 @@ sets computed here.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.errors import TopologyError
 
@@ -185,3 +185,269 @@ class Torus3D:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Torus3D{self.dims}"
+
+
+class Dragonfly:
+    """A dragonfly: groups of routers, each router hosting terminals.
+
+    The modern-fabric (Slingshot/InfiniBand-class) counterpart of the 3D
+    torus.  Shape ``(g, a, p, h)``: ``g`` groups of ``a`` routers, each
+    router with ``p`` terminals (nodes) and ``h`` global (optical) ports.
+    Within a group the routers are all-to-all connected; between groups,
+    global port ``j`` of group ``g`` (owned by router ``j // h``) links to
+    group ``(g + j + 1) mod G`` — the wrap-around arrangement that gives
+    every ordered group pair exactly one planned route, provided
+    ``a * h >= g - 1``.
+
+    Two coordinate kinds flow through the router machinery:
+
+    * **terminal (node) coordinates** ``(group, router, terminal)`` — what
+      :meth:`coord_of` / :meth:`id_of` speak, and what every NIC sits at;
+    * **router coordinates** ``("rt", group, router)`` — intermediate hops.
+      Router-to-router links are keyed by these, so concurrent transfers
+      through a shared router contend on *one* link, not one per terminal.
+
+    Direction tokens (the currency of :meth:`minimal_directions` /
+    :meth:`neighbor`): ``("up",)`` terminal→router, ``("down", t)``
+    router→terminal, ``("local", r)`` intra-group, ``("global", g)``
+    inter-group.
+
+    Minimal routing is the classic l-g-l path (local to the gateway,
+    global, local to the destination router).  Valiant routing — minimal
+    to a random intermediate router in a third group, then minimal to the
+    destination — is implemented by
+    :class:`repro.hardware.router.DragonflyNetwork` on top of
+    :meth:`valiant_intermediate`.
+    """
+
+    def __init__(self, groups: int, routers_per_group: int,
+                 terminals_per_router: int, global_links: int = 1,
+                 routing: str = "minimal", rng: Any = None):
+        if min(groups, routers_per_group, terminals_per_router,
+               global_links) < 1:
+            raise TopologyError(
+                f"invalid dragonfly shape g={groups} a={routers_per_group} "
+                f"p={terminals_per_router} h={global_links}")
+        if groups > 1 and routers_per_group * global_links < groups - 1:
+            raise TopologyError(
+                f"dragonfly with {groups} groups needs a*h >= {groups - 1} "
+                f"global ports per group, have "
+                f"{routers_per_group * global_links}")
+        if routing not in ("minimal", "valiant"):
+            raise TopologyError(f"unknown dragonfly routing {routing!r}")
+        self.groups = groups
+        self.routers_per_group = routers_per_group
+        self.terminals_per_router = terminals_per_router
+        self.global_links = global_links
+        self.routing = routing
+        #: RNG for Valiant intermediate selection; only ever drawn from in
+        #: valiant mode, so minimal-mode machines consume no RNG state
+        self._rng = rng
+        self._min_dirs: dict[tuple, list] = {}
+        self._nbr: dict[tuple, Any] = {}
+
+    @classmethod
+    def for_nodes(cls, n_nodes: int, routers_per_group: int = 4,
+                  terminals_per_router: int = 2, global_links: int = 2,
+                  **kw: Any) -> "Dragonfly":
+        """Smallest balanced dragonfly with at least ``n_nodes`` terminals.
+
+        Groups grow first; when the group count would exceed what ``a*h``
+        global ports can reach, the groups are widened instead.
+        """
+        if n_nodes < 1:
+            raise TopologyError(f"need at least one node, got {n_nodes}")
+        a, p, h = routers_per_group, terminals_per_router, global_links
+        while True:
+            g = -(-n_nodes // (a * p))
+            if a * h >= g - 1:
+                return cls(g, a, p, h, **kw)
+            a += 1
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def volume(self) -> int:
+        return self.groups * self.routers_per_group * self.terminals_per_router
+
+    @property
+    def dims(self) -> tuple[int, int, int]:
+        """Shape triple (groups, routers/group, terminals/router)."""
+        return (self.groups, self.routers_per_group, self.terminals_per_router)
+
+    @staticmethod
+    def is_router(coord: Any) -> bool:
+        return coord[0] == "rt"
+
+    def router_of(self, coord: Any) -> tuple:
+        """The router coordinate serving ``coord`` (identity for routers)."""
+        if coord[0] == "rt":
+            return coord
+        return ("rt", coord[0], coord[1])
+
+    def _check_terminal(self, coord: Any) -> None:
+        g, r, t = coord
+        if not (0 <= g < self.groups and 0 <= r < self.routers_per_group
+                and 0 <= t < self.terminals_per_router):
+            raise TopologyError(f"coordinate {coord} outside dragonfly "
+                                f"{self.dims}")
+
+    # -- id <-> coord ------------------------------------------------------
+    def coord_of(self, node_id: int) -> Coord:
+        if not 0 <= node_id < self.volume:
+            raise TopologyError(
+                f"node id {node_id} outside dragonfly of {self.volume}")
+        p, a = self.terminals_per_router, self.routers_per_group
+        t, rest = node_id % p, node_id // p
+        r, g = rest % a, rest // a
+        return (g, r, t)
+
+    def id_of(self, coord: Coord) -> int:
+        if coord[0] == "rt":
+            raise TopologyError(f"router coordinate {coord} has no node id")
+        self._check_terminal(coord)
+        g, r, t = coord
+        return t + self.terminals_per_router * (r + self.routers_per_group * g)
+
+    # -- global-link plan --------------------------------------------------
+    def gateway(self, group: int, dst_group: int) -> int:
+        """Router in ``group`` owning the global link toward ``dst_group``."""
+        if group == dst_group:
+            raise TopologyError(f"no global link from group {group} to itself")
+        port = (dst_group - group - 1) % self.groups
+        return port // self.global_links
+
+    def is_global_link(self, frm: Any, to: Any) -> bool:
+        """True when ``frm -> to`` is an inter-group (optical) router link."""
+        return (frm[0] == "rt" and to[0] == "rt" and frm[1] != to[1])
+
+    # -- geometry ----------------------------------------------------------
+    def neighbor(self, at: Any, d: Any) -> Any:
+        """Coordinate one step from ``at`` along direction token ``d``."""
+        key = (at, d)
+        nxt = self._nbr.get(key)
+        if nxt is None:
+            kind = d[0]
+            if kind == "up":
+                nxt = ("rt", at[0], at[1])
+            elif kind == "down":
+                nxt = (at[1], at[2], d[1])
+            elif kind == "local":
+                nxt = ("rt", at[1], d[1])
+            else:  # global: land on the peer group's gateway back to us
+                g2 = d[1]
+                nxt = ("rt", g2, self.gateway(g2, at[1]))
+            self._nbr[key] = nxt
+        return nxt
+
+    def neighbors(self, coord: Any) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(direction, neighbor_coord)`` for every attached link."""
+        if coord[0] != "rt":
+            yield ("up",), self.neighbor(coord, ("up",))
+            return
+        _, g, r = coord
+        for t in range(self.terminals_per_router):
+            yield ("down", t), self.neighbor(coord, ("down", t))
+        for r2 in range(self.routers_per_group):
+            if r2 != r:
+                yield ("local", r2), self.neighbor(coord, ("local", r2))
+        for j in range(r * self.global_links, (r + 1) * self.global_links):
+            g2 = (g + j + 1) % self.groups
+            if g2 != g:
+                yield ("global", g2), self.neighbor(coord, ("global", g2))
+
+    def hop_distance(self, a: Any, b: Any) -> int:
+        """Link traversals on the minimal (l-g-l) path from ``a`` to ``b``."""
+        if a == b:
+            return 0
+        total = 0
+        if a[0] != "rt":
+            total += 1  # up
+        if b[0] != "rt":
+            total += 1  # down
+        ra, rb = self.router_of(a), self.router_of(b)
+        if ra == rb:
+            return total
+        (_, ga, ia), (_, gb, ib) = ra, rb
+        if ga == gb:
+            return total + 1
+        gw_out = self.gateway(ga, gb)
+        gw_in = self.gateway(gb, ga)
+        return (total + (1 if ia != gw_out else 0) + 1
+                + (1 if gw_in != ib else 0))
+
+    def minimal_directions(self, at: Any, dst: Any) -> list:
+        """The productive direction(s) from ``at`` toward ``dst``.
+
+        The planned-arrangement dragonfly has exactly one minimal next hop
+        at every step, so the list is always empty or a singleton — the
+        adaptive router's backlog comparison degenerates to deterministic
+        routing, and the network's per-(at, dst) hop cache applies to
+        every hop.
+        """
+        if at == dst:
+            return []
+        key = (at, dst)
+        dirs = self._min_dirs.get(key)
+        if dirs is not None:
+            return dirs
+        rdst = self.router_of(dst)
+        if at[0] != "rt":
+            dirs = [("up",)]
+        else:
+            _, g, r = at
+            _, gd, rd = rdst
+            if g != gd:
+                gw = self.gateway(g, gd)
+                dirs = [("global", gd)] if r == gw else [("local", gw)]
+            elif r != rd:
+                dirs = [("local", rd)]
+            else:
+                dirs = [("down", dst[2])]
+        self._min_dirs[key] = dirs
+        return dirs
+
+    def route(self, src: Any, dst: Any) -> list[tuple[Any, Any]]:
+        """Minimal route as ``[(from, to), ...]`` hops."""
+        hops: list[tuple[Any, Any]] = []
+        at = src
+        while at != dst:
+            d = self.minimal_directions(at, dst)[0]
+            nxt = self.neighbor(at, d)
+            hops.append((at, nxt))
+            at = nxt
+        return hops
+
+    # -- Valiant routing ---------------------------------------------------
+    def valiant_intermediate(self, src: Coord, dst: Coord) -> Optional[tuple]:
+        """Random intermediate router for Valiant routing, or ``None``.
+
+        ``None`` means "route minimally": same-group traffic and machines
+        with fewer than three groups gain nothing from misrouting.  The
+        intermediate is drawn from the topology's seeded RNG stream, so a
+        run's misroute choices are a deterministic function of the machine
+        seed.
+        """
+        gs, gd = src[0], dst[0]
+        if gs == gd or self.groups < 3:
+            return None
+        if self._rng is None:
+            raise TopologyError(
+                "valiant routing needs the topology built with an rng")
+        gi = int(self._rng.integers(0, self.groups - 2))
+        # skip over the source and destination groups, in ascending order
+        for taken in sorted((gs, gd)):
+            if gi >= taken:
+                gi += 1
+        ri = int(self._rng.integers(0, self.routers_per_group))
+        return ("rt", gi, ri)
+
+    def all_coords(self) -> Iterator[Coord]:
+        for g in range(self.groups):
+            for r in range(self.routers_per_group):
+                for t in range(self.terminals_per_router):
+                    yield (g, r, t)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Dragonfly(g={self.groups} a={self.routers_per_group} "
+                f"p={self.terminals_per_router} h={self.global_links} "
+                f"routing={self.routing})")

@@ -6,11 +6,17 @@ Every experiment and example starts here::
 
     conv, layer = make_runtime(n_pes=48, layer="ugni")
     conv2, layer2 = make_runtime(n_pes=48, layer="mpi")
+    conv3, layer3 = make_runtime(n_pes=48, layer="rdma")
 
-The same application code runs on either layer — the transparency the
+The same application code runs on any layer — the transparency the
 paper's LRTS interface exists to provide ("the flexibility provided by the
 LRTS interface allows the application to change its underlying LRTS
 implementation transparently", §V).
+
+Layer names resolve through :mod:`repro.lrts.registry`; importing the
+shipped layer packages below is what populates it (each registers itself
+at import time), so third-party layers only need to call
+``register_layer`` before the factory runs.
 """
 
 from __future__ import annotations
@@ -23,8 +29,12 @@ from repro.faults import FaultConfig, install_faults
 from repro.hardware.config import MachineConfig
 from repro.hardware.machine import Machine
 from repro.lrts.interface import LrtsLayer
-from repro.lrts.mpi_layer import MpiMachineLayer
-from repro.lrts.ugni_layer import UgniLayerConfig, UgniMachineLayer
+from repro.lrts.registry import available_layers, build_layer
+
+# imported for their registration side effect
+import repro.lrts.mpi_layer  # noqa: F401
+import repro.lrts.rdma_layer  # noqa: F401
+import repro.lrts.ugni_layer  # noqa: F401
 
 
 def make_machine(
@@ -46,16 +56,11 @@ def make_machine(
 def make_layer(
     machine: Machine,
     layer: str = "ugni",
-    layer_config: Optional[UgniLayerConfig] = None,
+    layer_config: Optional[Any] = None,
     **layer_kw: Any,
 ) -> LrtsLayer:
-    if layer == "ugni":
-        return UgniMachineLayer(machine, layer_config=layer_config, **layer_kw)
-    if layer == "mpi":
-        if layer_config is not None:
-            raise LrtsError("layer_config is a uGNI-layer concept")
-        return MpiMachineLayer(machine, **layer_kw)
-    raise LrtsError(f"unknown machine layer {layer!r} (want 'ugni' or 'mpi')")
+    """Build one registered layer; unknown names list what's available."""
+    return build_layer(machine, layer, layer_config=layer_config, **layer_kw)
 
 
 def make_runtime(
@@ -63,7 +68,7 @@ def make_runtime(
     n_nodes: Optional[int] = None,
     layer: str = "ugni",
     config: Optional[MachineConfig] = None,
-    layer_config: Optional[UgniLayerConfig] = None,
+    layer_config: Optional[Any] = None,
     seed: int = 0,
     tracer: Any = None,
     machine: Optional[Machine] = None,

@@ -40,6 +40,10 @@ class LrtsLayer(abc.ABC):
     """Machine-layer contract used by Converse (paper §III.B)."""
 
     name: str = "abstract"
+    #: True on layers implementing :meth:`create_persistent` /
+    #: :meth:`send_persistent`; callers (persistent collectives) fall back
+    #: to plain sends when False
+    supports_persistent: bool = False
 
     def __init__(self) -> None:
         self.conv: Optional[ConverseRuntime] = None

@@ -1,0 +1,200 @@
+"""Persistent RMA windows: the rdma layer's persistent-message transport.
+
+Same contract as the uGNI layer's persistent channels (§IV.A) with the
+fabric's own mechanics: the handshake travels over the RC queue pair, the
+window is a directly registered region (no mempool), and the data path is
+one RDMA WRITE into the remote window followed by an RC notify — exactly
+the pre-negotiated-window scheme persistent alltoallv analyses assume.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.converse.scheduler import Message, PE
+from repro.errors import LrtsError
+from repro.lrts.interface import PersistentHandle
+from repro.lrts.messages import CONTROL_BYTES, LRTS_ENVELOPE
+from repro.ugni.rdma import PostDescriptor
+from repro.ugni.types import PostType
+
+
+class RmaWindow:
+    """One registered, remotely writable region of a persistent channel."""
+
+    __slots__ = ("block", "handle", "node_id")
+
+    def __init__(self, block: Any, handle: Any, node_id: int):
+        self.block = block
+        self.handle = handle
+        self.node_id = node_id
+
+
+class _RdmaPersistImpl:
+    """Layer-private state hanging off a PersistentHandle."""
+
+    __slots__ = ("src_win", "dst_win", "queued", "inflight", "closing")
+
+    def __init__(self) -> None:
+        self.src_win: RmaWindow | None = None
+        self.dst_win: RmaWindow | None = None
+        self.queued: list[Message] = []
+        self.inflight = 0
+        self.closing = False
+
+
+class PersistentWindowsMixin:
+    """Mixed into :class:`RdmaMachineLayer`."""
+
+    def create_persistent(self, src_pe: PE, dst_rank: int,
+                          max_bytes: int) -> PersistentHandle:
+        if max_bytes <= 0:
+            raise LrtsError(
+                f"persistent channel needs max_bytes > 0, got {max_bytes}")
+        if dst_rank == src_pe.rank:
+            raise LrtsError("persistent channel to self is pointless")
+        handle = PersistentHandle(src_pe.rank, dst_rank, max_bytes)
+        impl = _RdmaPersistImpl()
+        handle.impl = impl
+        total = max_bytes + LRTS_ENVELOPE
+        node_id = src_pe.node.node_id
+        block, mem_handle, cost = self.fabric.register_window(
+            node_id, total, f"rdma.persist[{handle.id}].src")
+        src_pe.charge(cost, "overhead")
+        impl.src_win = RmaWindow(block, mem_handle, node_id)
+        self._persistent[handle.id] = handle
+        self._rc_control(src_pe, dst_rank, "p_setup", handle)
+        return handle
+
+    # -- handshake (over the RC queue pair) ---------------------------------
+    def _on_p_setup(self, pe: PE, handle: PersistentHandle) -> None:
+        impl: _RdmaPersistImpl = handle.impl
+        total = handle.max_bytes + LRTS_ENVELOPE
+        node_id = pe.node.node_id
+        block, mem_handle, cost = self.fabric.register_window(
+            node_id, total, f"rdma.persist[{handle.id}].dst")
+        pe.charge(cost, "overhead")
+        impl.dst_win = RmaWindow(block, mem_handle, node_id)
+        self._rc_control(pe, handle.src_rank, "p_ready", handle)
+
+    def _on_p_ready(self, pe: PE, handle: PersistentHandle) -> None:
+        handle.ready = True
+        impl: _RdmaPersistImpl = handle.impl
+        queued, impl.queued = impl.queued, []
+        for msg in queued:
+            self._persist_write(pe, handle, msg)
+        if impl.closing:
+            self._try_persist_finalize(pe, handle)
+
+    # -- data path -----------------------------------------------------------
+    def send_persistent(self, src_pe: PE, handle: PersistentHandle,
+                        msg: Message) -> None:
+        if handle.src_rank != src_pe.rank:
+            raise LrtsError(
+                f"persistent handle belongs to PE {handle.src_rank}, "
+                f"used from {src_pe.rank}")
+        if msg.nbytes > handle.max_bytes:
+            raise LrtsError(
+                f"message of {msg.nbytes} B exceeds persistent channel "
+                f"max of {handle.max_bytes} B")
+        if handle.impl.closing:
+            raise LrtsError("send on a persistent channel being destroyed")
+        msg.sent_at = src_pe.vtime
+        src_pe.charge(self.cfg.converse_send_cpu, "overhead")
+        self.conv.messages_sent += 1
+        self.persistent_sent += 1
+        if not handle.ready:
+            handle.impl.queued.append(msg)
+            return
+        self._persist_write(src_pe, handle, msg)
+
+    def _persist_write(self, pe: PE, handle: PersistentHandle,
+                       msg: Message) -> None:
+        impl: _RdmaPersistImpl = handle.impl
+        total = msg.nbytes + LRTS_ENVELOPE
+        handle.sends += 1
+        impl.inflight += 1
+        desc = PostDescriptor(
+            post_type=PostType.PUT,
+            local_mem=impl.src_win.handle,
+            remote_mem=impl.dst_win.handle,
+            length=total,
+            local_addr=impl.src_win.block.addr,
+            remote_addr=impl.dst_win.block.addr,
+        )
+
+        def on_done(t: float) -> None:
+            pe.enqueue(
+                Message(handler=self._proto_hid, src_pe=pe.rank,
+                        dst_pe=pe.rank, nbytes=0,
+                        payload=("p_done_local", (handle, msg))),
+                recv_cpu=self.cfg.cq_event_cpu)
+
+        def on_error(t: float) -> None:
+            pe.enqueue(
+                Message(handler=self._proto_hid, src_pe=pe.rank,
+                        dst_pe=pe.rank, nbytes=0,
+                        payload=("p_failed", handle)),
+                recv_cpu=self.cfg.cq_event_cpu)
+
+        cpu = self.fabric.post_rdma(
+            impl.src_win.node_id, "put", desc, on_done, on_error,
+            at=pe.vtime)
+        pe.charge(cpu, "overhead")
+
+    def _on_p_done_local(self, pe: PE, payload) -> None:
+        handle, msg = payload
+        handle.impl.inflight -= 1
+        self._rc_control(pe, handle.dst_rank, "p_notify", (handle, msg))
+        if handle.impl.closing:
+            self._try_persist_finalize(pe, handle)
+
+    def _on_p_notify(self, pe: PE, payload) -> None:
+        """Receiver: the WRITE landed; the notify carries no data."""
+        handle, msg = payload
+        self.deliver(pe.rank, msg, recv_cpu=0.0)
+
+    def _on_p_failed(self, pe: PE, handle: PersistentHandle) -> None:
+        """WRITE abandoned after the retry budget; the channel survives."""
+        self.persistent_failed += 1
+        handle.impl.inflight -= 1
+        if handle.impl.closing:
+            self._try_persist_finalize(pe, handle)
+
+    # -- teardown -------------------------------------------------------------
+    def destroy_persistent(self, src_pe: PE,
+                           handle: PersistentHandle) -> None:
+        impl: _RdmaPersistImpl = handle.impl
+        if impl.queued:
+            raise LrtsError("destroying a persistent channel with queued sends")
+        if impl.closing:
+            return
+        impl.closing = True
+        self._try_persist_finalize(src_pe, handle)
+
+    def _try_persist_finalize(self, pe: PE, handle: PersistentHandle) -> None:
+        impl: _RdmaPersistImpl = handle.impl
+        if not impl.closing or impl.inflight or impl.queued:
+            return
+        if not handle.ready and impl.dst_win is None and impl.src_win is not None:
+            # handshake still pending: wait for p_ready so the receiver
+            # window exists to be torn down
+            return
+        if impl.src_win is not None:
+            pe.charge(self.fabric.release_window(
+                impl.src_win.node_id, impl.src_win.block,
+                impl.src_win.handle), "overhead")
+            impl.src_win = None
+        if impl.dst_win is not None:
+            self._rc_control(pe, handle.dst_rank, "p_teardown", handle)
+        handle.ready = False
+        impl.closing = False
+        self._persistent.pop(handle.id, None)
+
+    def _on_p_teardown(self, pe: PE, handle: PersistentHandle) -> None:
+        impl: _RdmaPersistImpl = handle.impl
+        if impl.dst_win is not None:
+            pe.charge(self.fabric.release_window(
+                impl.dst_win.node_id, impl.dst_win.block,
+                impl.dst_win.handle), "overhead")
+            impl.dst_win = None

@@ -1,0 +1,44 @@
+"""Self-registration of machine layers (name -> builder).
+
+A layer package registers its builder at import time::
+
+    from repro.lrts.registry import register_layer
+    register_layer("ugni", _build_ugni)
+
+:func:`repro.lrts.factory.make_layer` resolves names through this table,
+so adding a fabric means adding a package — the factory never changes.
+This module deliberately imports no layer (layers import *it*), keeping
+the registration dependency one-way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import LrtsError
+from repro.lrts.interface import LrtsLayer
+
+#: ``builder(machine, layer_config=None, **layer_kw) -> LrtsLayer``
+LayerBuilder = Callable[..., LrtsLayer]
+
+_LAYERS: dict[str, LayerBuilder] = {}
+
+
+def register_layer(name: str, builder: LayerBuilder) -> None:
+    """Register (or replace) the builder for one layer name."""
+    _LAYERS[name] = builder
+
+
+def available_layers() -> list[str]:
+    return sorted(_LAYERS)
+
+
+def build_layer(machine: Any, layer: str,
+                layer_config: Optional[Any] = None,
+                **layer_kw: Any) -> LrtsLayer:
+    builder = _LAYERS.get(layer)
+    if builder is None:
+        names = ", ".join(repr(n) for n in available_layers()) or "none"
+        raise LrtsError(
+            f"unknown machine layer {layer!r} (available: {names})")
+    return builder(machine, layer_config=layer_config, **layer_kw)

@@ -69,6 +69,7 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
     """Charm++ machine layer on uGNI (the paper's contribution)."""
 
     name = "ugni"
+    supports_persistent = True
 
     def __init__(self, machine: Machine,
                  layer_config: Optional[UgniLayerConfig] = None):
