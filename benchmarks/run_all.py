@@ -237,21 +237,35 @@ def _measure_round(name: str) -> dict:
     Under ``--sanitize`` / ``REPRO_SANITIZE=1`` every machine the round
     builds carries a lifecycle sanitizer; this runs in each worker
     process, so the audit also covers ``--jobs N`` fan-out.
+
+    Under ``--observe`` / ``REPRO_OBSERVE=1`` every machine also carries
+    an observer; the round returns the merged metrics snapshot and its
+    sha256 digest, which must be identical across rounds, ``--jobs``
+    fan-out, and sequential-vs-sharded execution.
     """
-    from repro import sanitize
+    from repro import observe, sanitize
 
     fn = BENCHMARKS[name]
     if name not in _WARMED:
         fn()  # warm-up: imports, lazy caches, allocator steady state
         _WARMED.add(name)
     sanitize.clear_registry()  # audit only the timed round below
+    observing = observe.observe_requested()
+    if observing:
+        observe.clear_registry()  # meter only the timed round below
     t0 = time.process_time()
     sim = fn()
     wall = time.process_time() - t0
     if sanitize.sanitize_requested():
         sanitize.assert_clean(f"benchmark {name}")
         sanitize.clear_registry()
-    return {"wall_s": wall, "sim": sim, "checksum": checksum(sim)}
+    out = {"wall_s": wall, "sim": sim, "checksum": checksum(sim)}
+    if observing:
+        snap = observe.collect_snapshot()
+        out["metrics_digest"] = observe.metrics_digest(snapshot=snap)
+        out["metrics"] = snap
+        observe.clear_registry()
+    return out
 
 
 def _aggregate(name: str, round_results: list[dict]) -> dict:
@@ -268,6 +282,15 @@ def _aggregate(name: str, round_results: list[dict]) -> dict:
         "sim": sim,
         "checksum": sums.pop(),
     }
+    digests = {r["metrics_digest"] for r in round_results
+               if "metrics_digest" in r}
+    if len(digests) > 1:
+        raise RuntimeError(
+            f"{name}: observer metrics digest differed across rounds — "
+            f"the metrics are no longer deterministic: {sorted(digests)}")
+    if digests:
+        entry["metrics_digest"] = digests.pop()
+        entry["metrics"] = round_results[-1]["metrics"]
     if name == "engine_events":
         entry["events_per_s"] = sim["events_executed"] / entry["wall_median_s"]
     return entry
@@ -355,6 +378,13 @@ def compare(report: dict, baseline: dict, tolerance: float,
                 f"{name}: simulated-metric checksum drifted "
                 f"({str(base.get('checksum'))[:23]}… -> {cur['checksum'][:23]}…) — "
                 f"an optimization changed simulation results")
+        base_digest = base.get("metrics_digest")
+        cur_digest = cur.get("metrics_digest")
+        if base_digest and cur_digest and cur_digest != base_digest:
+            failures.append(
+                f"{name}: observer metrics digest drifted "
+                f"({base_digest[:12]}… -> {cur_digest[:12]}…) — a change "
+                f"altered what the observability layer measures")
         base_norm = base.get("normalized")
         if not base_norm:
             failures.append(
@@ -391,6 +421,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="run every benchmark under the lifecycle sanitizer "
                         "(sets REPRO_SANITIZE=1; fails on any violation). "
                         "Timings will not be comparable to unsanitized runs.")
+    p.add_argument("--observe", action="store_true",
+                   help="run every benchmark under the observability layer "
+                        "(sets REPRO_OBSERVE=1): the report gains a "
+                        "metrics_digest per benchmark and an "
+                        "OBSERVE_<label>.jsonl artifact holds the full "
+                        "metrics snapshots. Simulated checksums are "
+                        "unaffected; wall-clock carries the hook overhead.")
     p.add_argument("--layers", metavar="L1,L2",
                    help="only run benchmarks exercising these machine "
                         "layers (e.g. --layers rdma); --check then skips "
@@ -399,13 +436,35 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.sanitize:
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.observe:
+        os.environ["REPRO_OBSERVE"] = "1"
 
     names = select_benchmarks(args.layers)
     if not names:
         raise SystemExit(f"--layers {args.layers}: no benchmarks selected")
     report = run_all(args.rounds, args.label, jobs=args.jobs, names=names)
+
+    # full metrics snapshots go to the JSONL artifact, not the report —
+    # the report (and any baseline rebased from it) keeps only the digest
+    observe_rows = []
+    for name, entry in report["benchmarks"].items():
+        metrics = entry.pop("metrics", None)
+        if metrics is not None:
+            observe_rows.append({
+                "benchmark": name,
+                "label": args.label,
+                "metrics_digest": entry["metrics_digest"],
+                "metrics": metrics,
+            })
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] wrote {args.out}")
+    if observe_rows:
+        from repro.observe import write_metrics_jsonl
+        obs_path = pathlib.Path(args.out).with_name(
+            f"OBSERVE_{args.label}.jsonl")
+        with open(obs_path, "w") as fh:
+            write_metrics_jsonl(observe_rows, fh)
+        print(f"[bench] wrote {obs_path}")
 
     if args.rebase:
         if args.layers:

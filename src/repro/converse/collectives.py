@@ -136,11 +136,16 @@ class CollectiveEngine:
         self._a2a: dict[tuple[Any, int], _A2aState] = {}
         #: (src, dst) -> PersistentHandle, reused across operations
         self._chan: dict[tuple[int, int], Any] = {}
+        self._obs = conv.machine.observer
 
     # -- transport ---------------------------------------------------------
     def _send(self, pe: PE, dst: int, nbytes: int, payload: Any) -> None:
         msg = Message(handler=self._hid, src_pe=pe.rank, dst_pe=dst,
                       nbytes=nbytes, payload=payload)
+        obs = self._obs
+        if obs is not None:
+            obs.metrics.inc("coll/sends")
+            obs.metrics.inc("coll/bytes", nbytes)
         if self.algorithm == "persistent":
             self._chan_send(pe, dst, msg)
         else:
@@ -168,6 +173,8 @@ class CollectiveEngine:
         if handle is None:
             handle = lrts.create_persistent(pe, dst, max_bytes=msg.nbytes)
             self._chan[key] = handle
+            if self._obs is not None:
+                self._obs.metrics.inc("coll/persistent_channels")
         lrts.send_persistent(pe, handle, msg)
 
     # -- allgather ---------------------------------------------------------
@@ -179,6 +186,8 @@ class CollectiveEngine:
         if st.on_done is not None:
             raise CharmError(
                 f"PE {pe.rank} already joined allgather {cid!r}")
+        if self._obs is not None:
+            self._obs.metrics.inc("coll/allgather")
         st.on_done = on_done
         st.items[pe.rank] = (nbytes, value)
         if self.n == 1:
@@ -241,6 +250,8 @@ class CollectiveEngine:
         if st.on_done is not None:
             raise CharmError(
                 f"PE {pe.rank} already joined alltoallv {cid!r}")
+        if self._obs is not None:
+            self._obs.metrics.inc("coll/alltoallv")
         st.on_done = on_done
         st.items[pe.rank] = parts[pe.rank]
         for dst in sorted(parts):

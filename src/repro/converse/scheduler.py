@@ -51,6 +51,9 @@ class Message:
     prio: Optional[int] = None
     #: simulated time the message was handed to LrtsSyncSend
     sent_at: float = 0.0
+    #: causal trace ID minted by the observer at send; ``None`` when
+    #: observability is off or the message bypassed ``ConverseRuntime.send``
+    trace_id: Optional[int] = None
 
 
 class PE:
@@ -64,6 +67,7 @@ class PE:
         # hot-path caches: both are fixed at runtime construction, and
         # charge()/_run_next() execute once per message
         self._tracer = runtime.tracer
+        self._observer = runtime.machine.observer
         self._dispatch_cpu = runtime.config.sched_dispatch_cpu
         self._handlers = runtime._handlers  # registry list, appended in place
         # execution state
@@ -133,6 +137,9 @@ class PE:
         ``recv_cpu`` is network-layer receive processing (CQ poll, copy
         out, matching) charged as overhead when the message is picked up.
         """
+        obs = self._observer
+        if obs is not None and msg.trace_id is not None:
+            obs.on_deliver(msg, self.rank, self.engine.now)
         if msg.prio is None:
             self._fifo.append((msg, recv_cpu))
         else:
@@ -224,6 +231,9 @@ class PE:
         self.vtime = t
         # network receive processing + scheduler dispatch are overhead
         self.charge(recv_cpu + self._dispatch_cpu, "overhead")
+        obs = self._observer
+        if obs is not None and msg.trace_id is not None:
+            obs.on_exec(msg, self.rank, self.engine.now)
         try:
             handler = self._handlers[msg.handler]
         except IndexError:
@@ -283,6 +293,10 @@ class ConverseRuntime:
         self.machine = machine
         self.engine = machine.engine
         self.config = machine.config
+        # the observer doubles as the per-PE interval tracer (Projections
+        # timeline) unless the caller installed an explicit one
+        if tracer is None and machine.observer is not None:
+            tracer = machine.observer
         self.tracer = tracer
         n = machine.n_pes if n_pes is None else n_pes
         if not 1 <= n <= machine.n_pes:
@@ -328,6 +342,11 @@ class ConverseRuntime:
             raise CharmError("no machine layer attached")
         self.messages_sent += 1
         msg.sent_at = src_pe.vtime
+        obs = src_pe._observer
+        if obs is not None:
+            # stage times use the engine clock (monotone across events),
+            # not PE vtime (which can run ahead of the engine)
+            obs.on_send(msg, src_pe.rank, self.engine.now)
         src_pe.charge(self.config.converse_send_cpu, "overhead")
         if dst_rank == src_pe.rank:
             self.pes[dst_rank].deliver_at(src_pe.vtime, msg)

@@ -202,9 +202,13 @@ class FaultInjector:
 
     # -- reporting --------------------------------------------------------------
     def _emit(self, event: str, where: Any = None, **detail: Any) -> None:
+        now = self.machine.engine.now
         trace = self.machine.trace
         if trace is not None:
-            trace.emit(self.machine.engine.now, "fault", event, where, **detail)
+            trace.emit(now, "fault", event, where, **detail)
+        obs = self.machine.observer
+        if obs is not None:
+            obs.on_fault(event, where, now)
 
     def stats(self) -> dict[str, int]:
         return {

@@ -5,27 +5,50 @@ emits ``category="recovery"`` records (retransmits, duplicate drops, post
 retries, persistent-channel re-arms).  These helpers fold a run's trace
 into the per-event counts the ablation benchmark and the Projections
 profile report alongside the timing numbers.
+
+When an :class:`~repro.observe.Observer` is active the same events also
+land in its metrics registry (``counter/fault/<event>`` and
+``counter/recovery/<event>``); :func:`fault_report` accepts either source
+so ``--observe`` runs and trace-based ablations share one summary shape.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from typing import Any, Optional
 
 from repro.sim.trace import TraceLog
 
 
-def fault_report(trace: TraceLog) -> dict[str, dict[str, int]]:
-    """Per-event counts for the ``fault`` and ``recovery`` categories."""
+def fault_report(trace: Optional[TraceLog] = None,
+                 observer: Any = None) -> dict[str, dict[str, int]]:
+    """Per-event counts for the ``fault`` and ``recovery`` categories.
+
+    Pass a :class:`TraceLog` (the historical path), an observer (whose
+    ``counter/fault/*`` and ``counter/recovery/*`` metrics are folded
+    in), or both — counts are merged by taking the max per event, since
+    a run with both active records each event in both places.
+    """
     out: dict[str, Counter] = {"fault": Counter(), "recovery": Counter()}
-    for rec in trace.records:
-        if rec.category in out:
-            out[rec.category][rec.event] += 1
+    if trace is not None:
+        for rec in trace.records:
+            if rec.category in out:
+                out[rec.category][rec.event] += 1
+    if observer is not None:
+        snap = observer.snapshot()
+        for key, value in snap.items():
+            for cat in ("fault", "recovery"):
+                prefix = f"counter/{cat}/"
+                if key.startswith(prefix):
+                    event = key[len(prefix):]
+                    out[cat][event] = max(out[cat][event], int(value))
     return {cat: dict(cnt) for cat, cnt in out.items()}
 
 
-def format_fault_report(trace: TraceLog) -> str:
+def format_fault_report(trace: Optional[TraceLog] = None,
+                        observer: Any = None) -> str:
     """Human-readable fault/recovery summary (one line per event kind)."""
-    rep = fault_report(trace)
+    rep = fault_report(trace, observer=observer)
     lines = []
     for cat in ("fault", "recovery"):
         events = rep[cat]

@@ -252,6 +252,12 @@ class MachineConfig:
     #: benchmark checksums are bit-identical with it on or off.  Also
     #: enabled process-wide by ``REPRO_SANITIZE=1``.
     sanitize: bool = False
+    #: install the observability hub (:mod:`repro.observe`) on machines
+    #: built with this config: metrics registry, causal message tracing,
+    #: flight recorder.  Observer-only, same contract as ``sanitize``:
+    #: simulated results are bit-identical with it on or off.  Also
+    #: enabled process-wide by ``REPRO_OBSERVE=1``.
+    observe: bool = False
 
     # ------------------------------------------------------------------ #
     # Derived cost helpers

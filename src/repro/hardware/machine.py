@@ -24,6 +24,7 @@ from repro.hardware.nic import GeminiNIC
 from repro.hardware.node import Node
 from repro.hardware.router import DragonflyNetwork, TorusNetwork
 from repro.hardware.topology import Dragonfly, Torus3D
+from repro.observe import Observer, observe_requested
 from repro.sanitize import Sanitizer, sanitize_requested
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
@@ -73,15 +74,25 @@ class Machine:
         #: ``None`` (the default) keeps every layer on its exact fault-free
         #: fast path — no RNG draws, no timing changes
         self.faults = None
+        #: observability hub (:mod:`repro.observe`); ``None`` (the default)
+        #: keeps every hook site on its zero-cost fast path.  Installed
+        #: before the sanitizer so sanitizer violations can reach the
+        #: flight recorder.
+        self.observer = None
+        if self.config.observe or observe_requested():
+            self.observer = Observer(self)
         #: lifecycle sanitizer (:mod:`repro.sanitize`); ``None`` (the
         #: default) keeps every hook site on its zero-cost fast path.
         #: Observer-only when installed: simulated results are unchanged.
         self.sanitizer = None
         if self.config.sanitize or sanitize_requested():
             self.sanitizer = Sanitizer(self)
-        # completion queues reach the sanitizer through the engine (they
-        # have no machine reference)
+        # completion queues reach the sanitizer and observer through the
+        # engine (they have no machine reference); the network likewise
+        # gets a direct observer reference for transfer-time hooks
         self.engine.sanitizer = self.sanitizer
+        self.engine.observer = self.observer
+        self.network.observer = self.observer
         self.nodes: list[Node] = []
         cpn = self.config.cores_per_node
         for node_id in range(n_nodes):

@@ -55,6 +55,9 @@ class TorusNetwork:
         #: load-dependent and never cached.  Link objects are stable — a
         #: fault mutates the Link in place — so cached entries stay valid.
         self._hop1: dict[tuple[Coord, Coord], tuple[Coord, Link]] = {}
+        #: observability hub (:mod:`repro.observe`), set by the machine
+        #: that owns this network; ``None`` skips the transfer hooks
+        self.observer = None
         #: total messages routed (diagnostics)
         self.messages_routed = 0
         #: links currently marked down/degraded (fault-injection state)
@@ -191,6 +194,9 @@ class TorusNetwork:
         if bandwidth_cap is not None and bandwidth_cap < path_bw:
             path_bw = bandwidth_cap
         arrival = head_arrival + nbytes / path_bw
+        obs = self.observer
+        if obs is not None:
+            obs.on_net_transfer(src, dst, nbytes, now, depart, hops)
         return TransferTiming(depart, head_arrival, arrival, hops)
 
     def _walk(self, t: float, src: Coord, dst: Coord, nbytes: int,
@@ -299,4 +305,8 @@ class DragonflyNetwork(TorusNetwork):
         if bandwidth_cap is not None and bandwidth_cap < path_bw:
             path_bw = bandwidth_cap
         arrival = head_arrival + nbytes / path_bw
+        obs = self.observer
+        if obs is not None:
+            obs.on_net_transfer(src, dst, nbytes, now, depart,
+                                hops_a + hops_b)
         return TransferTiming(depart, head_arrival, arrival, hops_a + hops_b)

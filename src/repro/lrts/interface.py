@@ -47,6 +47,8 @@ class LrtsLayer(abc.ABC):
 
     def __init__(self) -> None:
         self.conv: Optional[ConverseRuntime] = None
+        #: observability hub (set in :meth:`init`; ``None`` = hooks off)
+        self._obs = None
         #: delivered message count (tests assert conservation against sends)
         self.delivered = 0
 
@@ -54,7 +56,15 @@ class LrtsLayer(abc.ABC):
     def init(self, conv: ConverseRuntime) -> None:
         """``LrtsInit``: bind to the runtime and set up fabrics."""
         self.conv = conv
+        # hot-path cache, same idiom as machine.sanitizer: None when
+        # observability is off, so every hook site is one load + compare
+        self._obs = conv.machine.observer
         self._setup()
+        if self._obs is not None:
+            # pull-based: the layer's full stats() dict is folded into
+            # every metrics snapshot (delivered counts, protocol-path
+            # counters, pool/cache occupancy — whatever the layer reports)
+            self._obs.register_source(f"lrts/{self.name}", self.stats)
 
     @abc.abstractmethod
     def _setup(self) -> None:

@@ -58,6 +58,13 @@ class MpiMachineLayer(LrtsLayer):
     def sync_send(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
         total = msg.nbytes + LRTS_ENVELOPE
         self.sent += 1
+        obs = self._obs
+        if obs is not None:
+            # eager vs rendezvous is the receiver's call (Iprobe + Recv);
+            # classify by the same threshold the progress engine will use
+            path = ("eager" if total <= self.world.eager_threshold
+                    else "rendezvous")
+            obs.on_lrts("mpi", path, msg, self.machine.engine.now)
         # fresh buffer identity per message: the runtime allocated it, so
         # uDREG can never hit (the paper's different-buffers case)
         _req, cpu = self.world.isend(src_pe.rank, dst_rank, CHARM_TAG, total,

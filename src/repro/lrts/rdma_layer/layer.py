@@ -153,23 +153,32 @@ class RdmaMachineLayer(PersistentWindowsMixin, IntranodeMixin, LrtsLayer):
     # ------------------------------------------------------------------ #
     def sync_send(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
         total = msg.nbytes + LRTS_ENVELOPE
+        obs = self._obs
         if (self.machine.same_node(src_pe.rank, dst_rank)
                 and self.lcfg.intranode != "fabric"):
             self.intranode_sent += 1
+            if obs is not None:
+                obs.on_lrts("rdma", "intranode", msg, self.machine.engine.now)
             self._send_intranode(src_pe, dst_rank, msg)
             return
         if total <= self.cfg.rdma_inline_max:
             self.inline_sent += 1
+            if obs is not None:
+                obs.on_lrts("rdma", "inline", msg, self.machine.engine.now)
             self._rc_send(src_pe, dst_rank, "inline", total, msg,
                           extra_cpu=0.0)
             return
         if total <= self._eager_max:
             self.eager_sent += 1
+            if obs is not None:
+                obs.on_lrts("rdma", "eager", msg, self.machine.engine.now)
             setup = self.fabric.eager_pool(src_pe.rank)
             self._rc_send(src_pe, dst_rank, "eager", total, msg,
                           extra_cpu=setup + self.cfg.t_memcpy(total))
             return
         self.rendezvous_sent += 1
+        if obs is not None:
+            obs.on_lrts("rdma", "rendezvous", msg, self.machine.engine.now)
         self._send_rendezvous(src_pe, dst_rank, msg, total)
 
     # -- RC send helpers ------------------------------------------------------
@@ -207,6 +216,10 @@ class RdmaMachineLayer(PersistentWindowsMixin, IntranodeMixin, LrtsLayer):
                       payload: Any) -> None:
         """A WQE exhausted its retry budget; whatever it carried is lost."""
         self.rc_lost += 1
+        obs = self._obs
+        if obs is not None:
+            obs.on_recovery("rc_giveup", f"qp[{qp.src}->{qp.dst}]",
+                            self.machine.engine.now)
 
     # ------------------------------------------------------------------ #
     # Protocol handler (runs on the PE that owns each step)
@@ -285,6 +298,9 @@ class RdmaMachineLayer(PersistentWindowsMixin, IntranodeMixin, LrtsLayer):
     def _on_get_failed(self, pe: PE, state: _Rndv) -> None:
         """Receiver: the READ died after all retries; the message is lost."""
         self.rndv_failed += 1
+        obs = self._obs
+        if obs is not None:
+            obs.on_recovery("get_failed", f"pe{pe.rank}", self.machine.engine.now)
         self._pin_release(pe, state.dst_block, state.dst_handle)
         state.dst_block = state.dst_handle = None
         self._rc_control(pe, state.src_rank, "rndv_fail", state)
@@ -331,6 +347,9 @@ class RdmaMachineLayer(PersistentWindowsMixin, IntranodeMixin, LrtsLayer):
 
     def _on_put_failed(self, pe: PE, state: _Rndv) -> None:
         self.rndv_failed += 1
+        obs = self._obs
+        if obs is not None:
+            obs.on_recovery("put_failed", f"pe{pe.rank}", self.machine.engine.now)
         self._pin_release(pe, state.src_block, state.src_handle)
         state.src_block = state.src_handle = None
         self._rc_control(pe, state.dst_rank, "rndv_fail", state)

@@ -202,16 +202,23 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
     # ------------------------------------------------------------------ #
     def sync_send(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
         total = msg.nbytes + LRTS_ENVELOPE
+        obs = self._obs
         if (self.machine.same_node(src_pe.rank, dst_rank)
                 and self.lcfg.intranode != "ugni"):
             self.intranode_sent += 1
+            if obs is not None:
+                obs.on_lrts("ugni", "intranode", msg, self.machine.engine.now)
             self._send_intranode(src_pe, dst_rank, msg)
             return
         if total <= self._small_cutoff:
             self.small_sent += 1
+            if obs is not None:
+                obs.on_lrts("ugni", "small", msg, self.machine.engine.now)
             self._send_small(src_pe, dst_rank, msg, total)
             return
         self.rendezvous_sent += 1
+        if obs is not None:
+            obs.on_lrts("ugni", "rendezvous", msg, self.machine.engine.now)
         self._send_rendezvous(src_pe, dst_rank, msg)
 
     def _small_max(self) -> int:
@@ -249,7 +256,10 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
         self._ensure_rx_hooked(dst_rank)
         key = (pe.rank, dst_rank)
         pending = self._pending.get(key)
+        obs = self._obs
         if pending:
+            if obs is not None:
+                obs.on_credit_stall(pe.rank, dst_rank, nbytes, self.machine.engine.now)
             pending.append((tag, nbytes, payload))
             return
         try:
@@ -257,6 +267,8 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
                                   payload=payload, at=pe.vtime)
             pe.charge(cpu, "overhead")
         except UgniNoSpace:
+            if obs is not None:
+                obs.on_credit_stall(pe.rank, dst_rank, nbytes, self.machine.engine.now)
             q = self._pending.setdefault(key, deque())
             q.append((tag, nbytes, payload))
             self._schedule_flush(pe.rank, dst_rank, pe.vtime)

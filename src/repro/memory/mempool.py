@@ -107,6 +107,21 @@ class MemoryPool:
         self.live_blocks = 0
         self.live_bytes = 0
         self.total_allocs = 0
+        obs = self.machine.observer
+        if obs is not None:
+            obs.register_source(f"pool/{self.name}", self._observe_stats)
+
+    def _observe_stats(self) -> dict:
+        """Occupancy snapshot pulled by the metrics registry."""
+        return {
+            "live_blocks": self.live_blocks,
+            "live_bytes": self.live_bytes,
+            "total_allocs": self.total_allocs,
+            "expansions": self.expansions,
+            "arenas_released": self.arenas_released,
+            "capacity": self.capacity,
+            "registered_bytes": self.registered_bytes,
+        }
 
     # -- internals -------------------------------------------------------------
     def _add_arena(self, nbytes: int) -> float:

@@ -52,6 +52,20 @@ class RegistrationCache:
         #: stale entries purged because their handle was invalidated
         #: behind the cache's back (e.g. a direct MemDeregister)
         self.stale_purges = 0
+        obs = gni.machine.observer
+        if obs is not None:
+            obs.register_source(f"regcache/n{node_id}", self._observe_stats)
+
+    def _observe_stats(self) -> dict:
+        """Pin-cache hit/miss + occupancy pulled by the metrics registry."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stale_purges": self.stale_purges,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
 
     def lookup(self, block: MemoryBlock, pin: bool = True) -> tuple[MemHandle, float]:
         """Get a valid registration covering ``block``; returns cpu cost.

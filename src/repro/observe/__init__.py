@@ -1,0 +1,55 @@
+"""Deterministic runtime observability (opt-in, off by default).
+
+``repro.observe`` answers "where did the time and the messages go" the
+way Projections answers it for Charm++ (paper §V): a metrics registry of
+deterministic counters/gauges/sim-time histograms, causal per-message
+tracing exported as Perfetto-loadable Chrome trace JSON, and a flight
+recorder that dumps the last N runtime events on give-up, sanitizer
+violation, or engine stall.
+
+Enable per machine with ``MachineConfig(observe=True)`` or process-wide
+with ``REPRO_OBSERVE=1`` (the same opt-in shape as ``repro.sanitize``);
+``benchmarks/run_all.py --observe`` folds a sha256 metrics digest into
+the regression report.
+"""
+
+from repro.observe.core import (
+    GIVEUP_EVENTS,
+    Observer,
+    active_observers,
+    clear_registry,
+    collect_snapshot,
+    metrics_digest,
+    observe_requested,
+)
+from repro.observe.export import (
+    chrome_trace,
+    format_timeline,
+    pe_utilization,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.observe.flight import FlightDump, FlightRecorder
+from repro.observe.registry import MetricsRegistry
+from repro.observe.tracer import MessageTracer, Span, Stage
+
+__all__ = [
+    "GIVEUP_EVENTS",
+    "Observer",
+    "active_observers",
+    "clear_registry",
+    "collect_snapshot",
+    "metrics_digest",
+    "observe_requested",
+    "chrome_trace",
+    "format_timeline",
+    "pe_utilization",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+    "FlightDump",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "MessageTracer",
+    "Span",
+    "Stage",
+]

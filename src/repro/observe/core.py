@@ -1,0 +1,305 @@
+"""The Observer: one telemetry hub per simulated machine (opt-in).
+
+Mirrors the :mod:`repro.sanitize` architecture exactly, because that
+architecture already proved the property we need — **observer-only**
+instrumentation whose presence cannot change simulated results:
+
+* Hooked layers call narrow ``on_*`` methods; the observer never mutates
+  simulation state, draws RNG, or schedules events, so the benchmark
+  checksums stay bit-identical with observability on or off.
+* Every hook site is guarded by an ``is None`` check on
+  ``machine.observer`` / ``engine.observer`` / ``network.observer`` — zero
+  cost when off (one attribute load), the same pattern as
+  ``machine.faults`` and ``machine.sanitizer``.
+* A process-wide registry lets harnesses (``run_all.py --observe``, the
+  pytest suite, ``python -m repro.observe``) collect metrics from every
+  machine built during a run without plumbing handles through APIs.
+
+The observer owns three sub-systems: a :class:`MetricsRegistry`
+(deterministic counters/gauges/sim-time histograms), a
+:class:`MessageTracer` (causal per-message stage records keyed by the
+trace ID minted at send), and a :class:`FlightRecorder` (bounded ring of
+recent fault/recovery/stall records, dumped automatically on reliability
+give-up, sanitizer violation, or engine stall).  It also implements the
+scheduler-tracer protocol (``record``), so installing it gives the
+Projections-style per-PE timeline for free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.observe.flight import FlightRecorder
+from repro.observe.registry import MetricsRegistry
+from repro.observe.tracer import MessageTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.machine import Machine
+
+
+def observe_requested() -> bool:
+    """True when the ``REPRO_OBSERVE`` environment variable enables us."""
+    return os.environ.get("REPRO_OBSERVE", "") not in ("", "0")
+
+
+# --------------------------------------------------------------------- #
+# process-wide registry (for run_all --observe and the pytest helpers)
+# --------------------------------------------------------------------- #
+_REGISTRY: list["Observer"] = []
+
+
+def active_observers() -> list["Observer"]:
+    """All observers created since the last :func:`clear_registry`."""
+    return list(_REGISTRY)
+
+
+def clear_registry() -> None:
+    """Forget tracked observers (each test / benchmark starts clean)."""
+    _REGISTRY.clear()
+
+
+def collect_snapshot() -> dict[str, Any]:
+    """Merge every registered observer's snapshot into one flat dict.
+
+    Counters and histogram bins add; gauges are last-write-wins.  The
+    merge order is observer creation order, which is deterministic, so
+    the merged snapshot (and its digest) is too.
+    """
+    merged: dict[str, Any] = {}
+    for obs in _REGISTRY:
+        for key, value in obs.metrics.snapshot().items():
+            if key not in merged:
+                merged[key] = value
+            elif key.startswith("counter/"):
+                merged[key] = merged[key] + value
+            elif key.startswith("hist/"):
+                merged[key] = [merged[key][0] + value[0],
+                               merged[key][1] + value[1]]
+            else:
+                merged[key] = value
+    return dict(sorted(merged.items()))
+
+
+def metrics_digest(exclude: Iterable[str] = (),
+                   snapshot: Optional[dict[str, Any]] = None) -> str:
+    """sha256 digest of the merged snapshot (see MetricsRegistry.digest)."""
+    snap = collect_snapshot() if snapshot is None else snapshot
+    return MetricsRegistry().digest(exclude=exclude, snapshot=snap)
+
+
+#: recovery events that mean "the runtime gave up on a message/post" —
+#: each triggers an automatic flight dump for postmortem analysis
+GIVEUP_EVENTS = frozenset({
+    "give_up", "post_give_up", "rc_giveup", "get_failed", "put_failed",
+})
+
+
+class Observer:
+    """Telemetry hub for one :class:`~repro.hardware.machine.Machine`.
+
+    Installed by the machine itself when ``MachineConfig.observe`` or
+    ``REPRO_OBSERVE=1`` asks for it; every hooked layer reaches it as
+    ``machine.observer`` (or ``engine.observer`` / ``network.observer``)
+    and skips all calls when it is ``None``.
+    """
+
+    def __init__(self, machine: "Machine",
+                 flight_capacity: int = 256,
+                 trace_capacity: Optional[int] = None):
+        self.machine = machine
+        self._eng = machine.engine
+        self.metrics = MetricsRegistry()
+        self.tracer = MessageTracer(capacity=trace_capacity)
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        #: pe rank -> [(start, duration, kind), ...] busy/idle intervals
+        self.timeline: dict[int, list[tuple[float, float, str]]] = {}
+        _REGISTRY.append(self)
+        self._register_machine_sources()
+
+    # -- pull-based sources ------------------------------------------------
+    def register_source(self, name: str, fn: Callable[[], Any]) -> None:
+        """Fold ``fn()`` into every snapshot under ``name`` (see registry)."""
+        self.metrics.register_source(name, fn)
+
+    def _register_machine_sources(self) -> None:
+        machine = self.machine
+        self.register_source("engine", lambda: self._engine_stats(machine))
+        self.register_source("net", lambda: self._net_stats(machine))
+        self.register_source("nic", lambda: self._nic_stats(machine))
+
+    @staticmethod
+    def _engine_stats(machine: "Machine") -> dict[str, Any]:
+        engine = machine.engine
+        shard_stats = getattr(engine, "shard_stats", None)
+        if shard_stats is not None:
+            return shard_stats()
+        return {"events": getattr(engine, "events_executed", None),
+                "now": engine.now}
+
+    @staticmethod
+    def _net_stats(machine: "Machine") -> dict[str, Any]:
+        net = machine.network
+        out: dict[str, Any] = {
+            "messages_routed": getattr(net, "messages_routed", None),
+        }
+        total = getattr(net, "total_bytes_carried", None)
+        if callable(total):
+            out["total_bytes_carried"] = total()
+        links = getattr(net, "_links", None)
+        if links:
+            # bound cardinality: aggregate totals plus the top-8 busiest
+            # links by (bytes, name) — a deterministic order
+            out["links"] = len(links)
+            ranked = sorted(
+                ((link.bytes_carried, str(key), link)
+                 for key, link in links.items()),
+                key=lambda kv: (-kv[0], kv[1]))
+            for nbytes, name, link in ranked[:8]:
+                out[f"top/{name}"] = {
+                    "bytes": nbytes,
+                    "transfers": link.transfers,
+                }
+        return out
+
+    @staticmethod
+    def _nic_stats(machine: "Machine") -> dict[str, Any]:
+        smsg = rdma = errors = 0
+        for node in machine.nodes:
+            nic = getattr(node, "nic", None)
+            if nic is None:
+                continue
+            smsg += getattr(nic, "smsg_sent", 0)
+            rdma += getattr(nic, "rdma_posted", 0)
+            errors += getattr(nic, "transaction_errors", 0)
+        return {"smsg_sent": smsg, "rdma_posted": rdma,
+                "transaction_errors": errors}
+
+    # -- trace-id plumbing -------------------------------------------------
+    @staticmethod
+    def trace_id_of(obj: Any) -> Optional[int]:
+        """Walk ``payload`` wrappers until a ``trace_id`` shows up.
+
+        An SMSG message carries the Converse :class:`Message` as its
+        payload; a reliability packet wraps it one level deeper.
+        """
+        for _ in range(4):
+            if obj is None:
+                return None
+            tid = getattr(obj, "trace_id", None)
+            if tid is not None:
+                return tid
+            obj = getattr(obj, "payload", None)
+        return None
+
+    # -- scheduler hooks ---------------------------------------------------
+    def on_send(self, msg: Any, src_pe: int, time: float) -> None:
+        """Mint a trace ID at the Converse send (the causal root)."""
+        tid = self.tracer.mint(src_pe, msg.dst_pe, msg.nbytes)
+        msg.trace_id = tid
+        self.tracer.stage(tid, "send", time, where=f"pe{src_pe}")
+        self.metrics.inc("msg/sent")
+        self.metrics.inc("msg/bytes_sent", msg.nbytes)
+
+    def on_deliver(self, msg: Any, rank: int, time: float) -> None:
+        tid = msg.trace_id
+        self.tracer.stage(tid, "deliver", time, where=f"pe{rank}")
+        self.metrics.inc("msg/delivered")
+        span = self.tracer.span(tid)
+        if span is None:
+            return
+        for st in span.stages:
+            if st.stage == "send":
+                self.metrics.observe("msg/latency", time, time - st.time)
+                break
+        for st in span.stages:
+            if st.stage == "lrts" and st.detail == "rendezvous":
+                self.metrics.inc("rndv/roundtrips")
+                self.metrics.observe("rndv/roundtrip_time", time,
+                                     time - st.time)
+                break
+
+    def on_exec(self, msg: Any, rank: int, time: float) -> None:
+        self.tracer.stage(msg.trace_id, "exec", time, where=f"pe{rank}")
+        self.metrics.inc("msg/executed")
+
+    # -- LRTS-layer hooks --------------------------------------------------
+    def on_lrts(self, layer: str, path: str, msg: Any, time: float) -> None:
+        """The machine layer chose a protocol path for one message."""
+        tid = self.trace_id_of(msg)
+        if tid is not None:
+            self.tracer.stage(tid, "lrts", time, where=layer, detail=path)
+        self.metrics.inc(f"lrts/{layer}/{path}")
+        self.metrics.inc(f"lrts/{layer}/bytes", getattr(msg, "nbytes", 0))
+
+    def on_credit_stall(self, src: int, dst: int, nbytes: int,
+                        time: float) -> None:
+        self.metrics.inc("smsg/credit_stalls")
+        self.metrics.observe("smsg/credit_stall_bytes", time, nbytes)
+        self.flight.note(time, "smsg", "credit_stall",
+                         where=f"smsg[{src}->{dst}]", nbytes=nbytes)
+
+    # -- fabric / hardware hooks -------------------------------------------
+    def on_tx(self, payload: Any, kind: str, nbytes: int, where: Any,
+              time: float) -> None:
+        """A fabric accepted bytes for the wire (SMSG push, RDMA post)."""
+        tid = self.trace_id_of(payload)
+        if tid is not None:
+            self.tracer.stage(tid, "tx", time, where=where, detail=kind)
+        self.metrics.inc(f"tx/{kind}")
+        self.metrics.inc("tx/bytes", nbytes)
+
+    def on_cq_push(self, cq: Any, entry: Any, time: float) -> None:
+        """A completion landed on the destination's CQ."""
+        tid = self.trace_id_of(getattr(entry, "data", None))
+        if tid is not None:
+            self.tracer.stage(tid, "arrive", time,
+                              where=getattr(cq, "name", None))
+        self.metrics.inc("cq/pushed")
+
+    def on_net_transfer(self, src: Any, dst: Any, nbytes: int,
+                        now: float, depart: float, hops: int) -> None:
+        self.metrics.inc("net/transfers")
+        self.metrics.inc("net/bytes", nbytes)
+        self.metrics.inc("net/hops", hops)
+        # injection backlog: how long the head waited for a free lane
+        self.metrics.observe("net/inject_backlog", now, depart - now)
+
+    # -- fault / recovery / failure hooks ----------------------------------
+    def on_fault(self, event: str, where: Any, time: float) -> None:
+        self.metrics.inc(f"fault/{event}")
+        self.flight.note(time, "fault", event, where=where)
+
+    def on_recovery(self, event: str, where: Any, time: float) -> None:
+        self.metrics.inc(f"recovery/{event}")
+        self.flight.note(time, "recovery", event, where=where)
+        if event in GIVEUP_EVENTS:
+            self.flight.dump(f"recovery:{event}", time, where=where)
+
+    def on_violation(self, kind: str, where: Any, detail: str,
+                     time: float) -> None:
+        self.metrics.inc("sanitize/violations")
+        self.flight.note(time, "sanitize", kind, where=where, detail=detail)
+        self.flight.dump(f"sanitize:{kind}", time, where=where)
+
+    def on_stall(self, time: float, max_events: int) -> None:
+        self.metrics.inc("engine/stalls")
+        self.flight.note(time, "engine", "stall", max_events=max_events)
+        self.flight.dump("engine-stall", time)
+
+    # -- scheduler tracer protocol (per-PE timeline) -----------------------
+    def record(self, pe_rank: int, start: float, duration: float,
+               kind: str) -> None:
+        self.timeline.setdefault(pe_rank, []).append((start, duration, kind))
+
+    # -- introspection -----------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return self.metrics.snapshot()
+
+    def digest(self, exclude: Iterable[str] = ()) -> str:
+        return self.metrics.digest(exclude=exclude)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Observer machine={self.machine!r} "
+                f"metrics={len(self.metrics)} "
+                f"spans={len(self.tracer.spans)}>")

@@ -1,0 +1,59 @@
+"""Flight recorder: a bounded ring of recent trace records plus dumps.
+
+The recorder continuously notes interesting events (faults, recovery
+actions, stalls) into a ring-buffered :class:`~repro.sim.trace.TraceLog`
+— bounded memory no matter how long the run — and snapshots the ring
+when something goes wrong: a reliability give-up, a sanitizer violation,
+or an engine stall.  The snapshot (a :class:`FlightDump`) is what a
+postmortem reads: "the last N things the runtime did before it gave up".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+#: default ring size — enough to cover a few retransmission windows
+DEFAULT_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class FlightDump:
+    """One snapshot of the ring, taken at a trigger."""
+
+    reason: str
+    time: float
+    where: Any = None
+    #: ring contents at the trigger, oldest first
+    records: tuple[TraceRecord, ...] = ()
+    #: records that had already been evicted before the trigger
+    dropped: int = 0
+
+    def render(self) -> str:
+        lines = [f"flight dump: {self.reason} at t={self.time:.9f} "
+                 f"({len(self.records)} records, {self.dropped} dropped)"]
+        for rec in self.records:
+            lines.append(f"  t={rec.time:.9f} [{rec.category}] {rec.event} "
+                         f"{rec.where} {rec.detail}")
+        return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Ring buffer of recent records, dumped on fault/violation/stall."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.log = TraceLog(capacity=capacity)
+        self.dumps: list[FlightDump] = []
+
+    def note(self, time: float, category: str, event: str,
+             where: Any = None, **detail: Any) -> None:
+        self.log.emit(time, category, event, where, **detail)
+
+    def dump(self, reason: str, time: float, where: Any = None) -> FlightDump:
+        snap = FlightDump(reason=reason, time=time, where=where,
+                          records=tuple(self.log.records),
+                          dropped=self.log.dropped)
+        self.dumps.append(snap)
+        return snap

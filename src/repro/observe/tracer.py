@@ -1,0 +1,103 @@
+"""Causal message tracing: one trace ID threaded send -> exec.
+
+A trace ID is minted when :meth:`~repro.converse.scheduler.ConverseRuntime.send`
+accepts a message and rides on ``Message.trace_id`` through every layer the
+message crosses.  Each layer appends a :class:`Stage` — the same per-path
+breakdown Projections gives Charm++ (paper §V's time profiles), but causal:
+every record belongs to exactly one message, so "where did message 412
+spend its time" is a dictionary lookup, not a correlation exercise.
+
+Canonical stage names, in causal order (not every message crosses every
+stage — an intranode send skips the fabric entirely):
+
+``send``      minted in the Converse scheduler on the source PE
+``lrts``      the machine layer chose a protocol path (detail: which)
+``tx``        the fabric accepted bytes for the wire (SMSG/NIC)
+``arrive``    a completion-queue event landed on the destination
+``deliver``   the destination PE enqueued the message
+``exec``      the destination PE ran the handler
+
+Retransmissions legitimately repeat ``tx``/``arrive``; timestamps stay
+monotone non-decreasing because every layer stamps simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One protocol stage a traced message crossed."""
+
+    stage: str
+    time: float
+    where: Any = None
+    detail: Optional[str] = None
+
+
+@dataclass
+class Span:
+    """The full causal record of one traced message."""
+
+    trace_id: int
+    src_pe: int
+    dst_pe: int
+    nbytes: int
+    stages: list[Stage] = field(default_factory=list)
+
+    def times(self, stage: str) -> list[float]:
+        return [s.time for s in self.stages if s.stage == stage]
+
+    def has(self, stage: str) -> bool:
+        return any(s.stage == stage for s in self.stages)
+
+    @property
+    def monotone(self) -> bool:
+        times = [s.time for s in self.stages]
+        return all(a <= b for a, b in zip(times, times[1:]))
+
+
+class MessageTracer:
+    """Mints trace IDs and accumulates per-message stage records.
+
+    IDs are a plain counter (deterministic: minting happens in simulated
+    event order).  ``capacity`` bounds the number of *retained* spans —
+    the oldest completed spans are evicted first — so long campaigns can
+    trace with bounded memory; ``None`` keeps everything.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._next_id = 0
+        self.spans: dict[int, Span] = {}
+        self.capacity = capacity
+        self.evicted = 0
+
+    def mint(self, src_pe: int, dst_pe: int, nbytes: int) -> int:
+        self._next_id += 1
+        tid = self._next_id
+        self.spans[tid] = Span(tid, src_pe, dst_pe, nbytes)
+        if self.capacity is not None and len(self.spans) > self.capacity:
+            oldest = next(iter(self.spans))
+            del self.spans[oldest]
+            self.evicted += 1
+        return tid
+
+    def stage(self, trace_id: int, stage: str, time: float,
+              where: Any = None, detail: Optional[str] = None) -> None:
+        span = self.spans.get(trace_id)
+        if span is None:
+            return  # evicted, or minted before this tracer existed
+        span.stages.append(Stage(stage, time, where, detail))
+
+    # -- queries -----------------------------------------------------------
+    def minted(self) -> int:
+        return self._next_id
+
+    def delivered_spans(self) -> list[Span]:
+        """Spans whose message actually ran a handler (``exec`` stage)."""
+        return [s for s in self.spans.values() if s.has("exec")]
+
+    def span(self, trace_id: int) -> Optional[Span]:
+        return self.spans.get(trace_id)

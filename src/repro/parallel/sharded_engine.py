@@ -377,6 +377,9 @@ class ShardedEngine(Engine):
                         self._now = until
                         return self._now
                     if max_events is not None and executed >= max_events:
+                        obs = self.observer
+                        if obs is not None:
+                            obs.on_stall(self._now, max_events)
                         raise SimulationError(
                             f"exceeded max_events={max_events} "
                             "(runaway simulation?)"

@@ -234,6 +234,11 @@ class Sanitizer:
             return
         self._seen.add(key)
         self.violations.append(Violation(kind, self._eng.now, where, detail))
+        obs = getattr(self.machine, "observer", None)
+        if obs is not None:
+            # a violation is a flight-recorder trigger: dump the recent
+            # runtime event ring for postmortem analysis
+            obs.on_violation(kind, where, detail, self._eng.now)
 
     # -- registered regions ------------------------------------------------
     def on_register(self, handle: Any) -> None:

@@ -106,6 +106,10 @@ class Engine:
     #: lifecycle sanitizer (:mod:`repro.sanitize`), set by the machine
     #: that owns this engine; ``None`` skips the quiescence checks
     sanitizer = None
+    #: observability hub (:mod:`repro.observe`), set by the machine that
+    #: owns this engine; ``None`` skips all telemetry hooks.  The run
+    #: loop itself is not hooked — only the runaway-guard path is.
+    observer = None
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -269,6 +273,9 @@ class Engine:
                     self._now = until
                     break
                 if max_events is not None and executed >= max_events:
+                    obs = self.observer
+                    if obs is not None:
+                        obs.on_stall(self._now, max_events)
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway simulation?)"
                     )

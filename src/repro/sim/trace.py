@@ -25,11 +25,24 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only record sink with simple query helpers."""
+    """Append-only record sink with simple query helpers.
 
-    def __init__(self, categories: Iterable[str] | None = None):
+    With ``capacity`` set the log becomes a ring buffer keeping only the
+    most recent records (the flight recorder's base); evicted records are
+    counted in :attr:`dropped`.  Unbounded remains the default, so sequence
+    assertions over a whole run keep working unchanged.
+    """
+
+    def __init__(self, categories: Iterable[str] | None = None,
+                 capacity: int | None = None):
         #: restrict logging to these categories (None = everything)
         self.categories = set(categories) if categories is not None else None
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        #: ring-buffer bound (None = keep everything)
+        self.capacity = capacity
+        #: records evicted to honor ``capacity``
+        self.dropped = 0
         self.records: list[TraceRecord] = []
 
     def emit(
@@ -42,6 +55,9 @@ class TraceLog:
     ) -> None:
         if self.categories is not None and category not in self.categories:
             return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            del self.records[0]
+            self.dropped += 1
         self.records.append(TraceRecord(time, category, event, where, detail))
 
     # -- queries -----------------------------------------------------------
@@ -58,6 +74,7 @@ class TraceLog:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.records)

@@ -80,6 +80,9 @@ class CompletionQueue:
         san = self.engine.sanitizer
         if san is not None:
             san.on_cq_push(self, entry)
+        obs = self.engine.observer
+        if obs is not None:
+            obs.on_cq_push(self, entry, entry.time)
         if overrun:
             # explicit overrun marker, queued right after the event that hit
             # the full queue (the counter and these entries always agree)

@@ -159,6 +159,10 @@ class SmsgFabric:
         san = machine.sanitizer
         if san is not None:
             san.on_smsg_send(msg)
+        obs = machine.observer
+        if obs is not None:
+            obs.on_tx(msg, "smsg", nbytes, f"smsg[{src_pe}->{dst_pe}]",
+                      at if at is not None else machine.engine.now)
         src_node = machine.node_of_pe(src_pe)
         dst_node = machine.node_of_pe(dst_pe)
         cq = self._rx_cqs.get(dst_pe)
