@@ -173,12 +173,57 @@ def bench_crosslayer() -> dict:
     return out
 
 
+def bench_recovery() -> dict:
+    """Time-to-recover: the resilience loop under a crash schedule.
+
+    Runs the reference phased app (``repro.resilience``) crash-free and
+    under a two-crash :class:`NodeCrash` schedule.  The recovered run's
+    result digest must be bit-identical to the crash-free one — that
+    digest is folded into the metrics, so any placement- or
+    replay-dependence in the recovery path shows up as checksum drift.
+    The simulated costs (lost work, restart overhead, checkpoint count)
+    are metrics too: a change to the checkpoint cadence or restart model
+    is a deliberate, visible baseline change.
+    """
+    from repro.faults import NodeCrash
+    from repro.hardware.config import tiny
+    from repro.resilience import PhasedSum, RecoveryPolicy, ResilienceManager
+
+    def run(schedule):
+        app = PhasedSum(n_elements=32, rounds=40)
+        mgr = ResilienceManager(
+            app, n_nodes=8, layer="ugni", config=tiny(cores_per_node=1),
+            seed=11, policy=RecoveryPolicy(checkpoint_interval=60e-6),
+            crash_schedule=schedule)
+        return mgr.run()
+
+    clean = run([])
+    crashed = run([NodeCrash(at=150e-6, node_id=3),
+                   NodeCrash(at=700e-6, node_id=1),
+                   NodeCrash(at=1500e-6, node_id=4)])
+    if crashed.result["digest"] != clean.result["digest"]:
+        raise RuntimeError(
+            f"recovered run diverged from crash-free run: "
+            f"{crashed.result['digest']} vs {clean.result['digest']}")
+    return {
+        "result_digest": crashed.result["digest"],
+        "sim_time_clean_s": clean.sim_time_s,
+        "sim_time_crashed_s": crashed.sim_time_s,
+        "lost_work_s": crashed.lost_work_s,
+        "restart_cost_s": crashed.restart_cost_s,
+        "checkpoints": float(crashed.checkpoints),
+        "restarts": float(crashed.restarts),
+        "n_pes_final": float(crashed.n_pes_final),
+    }
+
+
 BENCHMARKS = {
     "pingpong": bench_pingpong,
     "kneighbor": bench_kneighbor,
     "engine_events": bench_engine_events,
     "sharded_kneighbor": bench_sharded_kneighbor,
     "crosslayer": bench_crosslayer,
+    "recovery": bench_recovery,
 }
 
 #: machine layers each benchmark exercises — what ``--layers`` filters on
@@ -189,6 +234,7 @@ BENCHMARK_LAYERS = {
     "engine_events": (),
     "sharded_kneighbor": ("ugni",),
     "crosslayer": ("ugni", "mpi", "rdma"),
+    "recovery": ("ugni",),
 }
 
 

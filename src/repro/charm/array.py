@@ -107,6 +107,20 @@ class Collection:
     def hosts(self, pe_rank: int) -> bool:
         return bool(self.local[pe_rank])
 
+    def missing_elements(self) -> list:
+        """Indices the location manager knows but no PE currently hosts.
+
+        Non-empty exactly while a migration is in flight (the element was
+        detached from its old PE and its message has not been installed at
+        the new home yet).  A checkpoint taken in that window would lose
+        the element, so :func:`~repro.charm.checkpoint.take_checkpoint`
+        audits this in both drained and wave mode.
+        """
+        hosted = set()
+        for pe_elems in self.local.values():
+            hosted.update(pe_elems)
+        return sorted((i for i in self.location if i not in hosted), key=str)
+
     # -- load statistics (for the measurement-based LB) --------------------------
     def element_loads(self) -> dict[Any, float]:
         out = {}

@@ -147,6 +147,21 @@ def greedy_plan_comm(
     return plan
 
 
+def restore_rebalance_map(cc: Any, indices: list, n_pes: int) -> dict[Hashable, int]:
+    """Restore-time placement from checkpointed measured loads.
+
+    This is the mapper the recovery path feeds to
+    :func:`~repro.charm.checkpoint.restore_into`: each element's
+    ``_lb_load`` accumulated before the checkpoint seeds a
+    :func:`greedy_plan`, so a job restarting on fewer PEs comes back
+    balanced instead of inheriting the old placement modulo the new PE
+    count.  Deterministic: ``indices`` arrive sorted and ties in the
+    greedy sort preserve that order.
+    """
+    loads = {idx: float(cc.states[idx].get("_lb_load", 0.0)) for idx in indices}
+    return greedy_plan(loads, n_pes)
+
+
 def plan_cpu_cost(n_objects: int, n_pes: int) -> float:
     """CPU seconds the central strategy burns building the plan."""
     import math

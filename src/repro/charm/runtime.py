@@ -83,6 +83,31 @@ class Charm:
         return proxy
 
     # ------------------------------------------------------------------ #
+    # Collection lookup (restore/recovery paths address by name)
+    # ------------------------------------------------------------------ #
+    def collection(self, name: str) -> Collection:
+        """The collection registered under ``name`` (names are stable
+        across checkpoint/restart incarnations; aids are not)."""
+        for coll in self.collections.values():
+            if coll.name == name:
+                return coll
+        raise CharmError(f"no collection named {name!r}")
+
+    def iter_elements(self, name: str):
+        """Yield ``(index, element)`` of one collection, index-sorted.
+
+        Deterministic regardless of placement — result digests and
+        rebind sweeps iterate with this so restarting on a different PE
+        count cannot reorder them.
+        """
+        coll = self.collection(name)
+        merged = {}
+        for pe_elems in coll.local.values():
+            merged.update(pe_elems)
+        for idx in sorted(merged, key=str):
+            yield idx, merged[idx]
+
+    # ------------------------------------------------------------------ #
     # Bootstrap and run
     # ------------------------------------------------------------------ #
     def start(self, fn: Callable[[PE], None], pe: int = 0,

@@ -77,6 +77,9 @@ class PE:
         self._running = False  # a handler is executing right now
         self._scheduled = False  # a _run_next is on the event heap
         self._blocked = False  # stuck in a blocking call (MPI_Recv)
+        self.halted = False  # node crashed: dead silicon, drops everything
+        #: messages dropped because this PE was already halted
+        self.dropped_dead = 0
         self.busy_until = 0.0
         self.vtime = 0.0
         # accounting
@@ -137,6 +140,13 @@ class PE:
         ``recv_cpu`` is network-layer receive processing (CQ poll, copy
         out, matching) charged as overhead when the message is picked up.
         """
+        if self.halted:
+            # dead silicon: a message that reaches a crashed PE vanishes
+            # (previously it sat on the queue forever, which made queue
+            # inspection — and the wave-mode checkpoint's quiescence
+            # audit — lie about pending work)
+            self.dropped_dead += 1
+            return
         obs = self._observer
         if obs is not None and msg.trace_id is not None:
             obs.on_deliver(msg, self.rank, self.engine.now)
@@ -180,6 +190,8 @@ class PE:
         on the floor, as they would be by dead silicon.
         """
         self._blocked = True
+        self.halted = True
+        self.dropped_dead += self.queue_length
         self._fifo.clear()
         self._prioq.clear()
 

@@ -104,6 +104,11 @@ class FaultInjector:
         self.rng = machine.rng.stream("faults")
         self._conv = None  # bound runtime, for halting crashed nodes' PEs
         self._armed = False
+        self._pending: dict[int, Any] = {}  # pending scheduled-event handles
+        self._next_key = 0
+        #: upcalls fired (in registration order) after a node crash has
+        #: been applied — the resilience layer hooks recovery in here
+        self._crash_listeners: list[Any] = []
         # lifetime counters
         self.smsg_dropped = 0
         self.smsg_stalled = 0
@@ -116,21 +121,68 @@ class FaultInjector:
         """Attach the Converse runtime so node crashes can halt its PEs."""
         self._conv = conv
 
+    def add_crash_listener(self, fn: Any) -> None:
+        """Register ``fn(ev)`` to run right after a :class:`NodeCrash` lands.
+
+        Listeners fire *after* the node is marked dead and its PEs are
+        halted — the crash is a fait accompli by the time the upcall runs,
+        exactly like a real fault-detection notification.  The resilience
+        manager uses this to stop the run loop and begin recovery.
+        """
+        self._crash_listeners.append(fn)
+
     def arm(self) -> None:
         """Schedule every :class:`LinkFlap` / :class:`NodeCrash` on the engine."""
         if self._armed:
             return
         self._armed = True
-        eng = self.machine.engine
         for ev in self.schedule:
             if isinstance(ev, LinkFlap):
-                eng.call_at(ev.at, self._link_down, ev)
+                self._arm_one(ev.at, self._link_down, ev)
                 if math.isfinite(ev.duration):
-                    eng.call_at(ev.at + ev.duration, self._link_up, ev)
+                    self._arm_one(ev.at + ev.duration, self._link_up, ev)
             elif isinstance(ev, NodeCrash):
-                eng.call_at(ev.at, self._crash, ev)
+                self._arm_one(ev.at, self._crash, ev)
             else:
                 raise SimulationError(f"unknown schedule event {ev!r}")
+
+    def _arm_one(self, at: float, fn: Any, ev: ScheduleEvent) -> None:
+        # Engine handles are pooled and reusable once their callback has
+        # run, so the injector tracks only *pending* ones: _fire removes
+        # its own entry before running, leaving disarm() a set of handles
+        # that are all still safe to cancel.
+        key = self._next_key
+        self._next_key += 1
+        handle = self.machine.engine.call_at(at, self._fire, key, fn, ev)
+        self._pending[key] = (handle, ev)
+
+    def _fire(self, key: int, fn: Any, ev: ScheduleEvent) -> None:
+        self._pending.pop(key, None)
+        fn(ev)
+
+    def disarm(self) -> None:
+        """Cancel every scheduled fault that has not fired yet.
+
+        The recovery path calls this on the crashed runtime before
+        draining it: leftover schedule events belong to the *job*, not
+        the dying machine, and will be re-armed (clamped to the restart
+        time) on the replacement runtime — firing them here too would
+        double-count every fault.
+        """
+        for handle, _ev in self._pending.values():
+            handle.cancel()
+        self._pending.clear()
+
+    def pending_events(self) -> tuple:
+        """Schedule events not yet fired, in schedule order.
+
+        The recovery path snapshots this *before* :meth:`disarm` to learn
+        which of the job's faults still lie ahead and must be re-armed on
+        the replacement runtime.  A :class:`LinkFlap` counts as pending
+        until its recovery half has fired.
+        """
+        live = {id(ev) for _handle, ev in self._pending.values()}
+        return tuple(ev for ev in self.schedule if id(ev) in live)
 
     # -- stochastic decisions (called from the fabric hot paths) ---------------
     def smsg_delivery_fails(self, src_pe: int, dst_pe: int) -> bool:
@@ -199,6 +251,8 @@ class FaultInjector:
             for rank in node.pes():
                 if rank < len(self._conv.pes):
                     self._conv.pes[rank].halt()
+        for listener in self._crash_listeners:
+            listener(ev)
 
     # -- reporting --------------------------------------------------------------
     def _emit(self, event: str, where: Any = None, **detail: Any) -> None:

@@ -21,13 +21,18 @@ from repro.sim.trace import TraceLog
 
 
 def fault_report(trace: Optional[TraceLog] = None,
-                 observer: Any = None) -> dict[str, dict[str, int]]:
+                 observer: Any = None,
+                 resilience: Any = None) -> dict[str, dict[str, int]]:
     """Per-event counts for the ``fault`` and ``recovery`` categories.
 
     Pass a :class:`TraceLog` (the historical path), an observer (whose
     ``counter/fault/*`` and ``counter/recovery/*`` metrics are folded
-    in), or both — counts are merged by taking the max per event, since
-    a run with both active records each event in both places.
+    in), a :class:`~repro.resilience.ResilienceManager` (whose
+    checkpoint/crash/restart counters land under ``recovery``), or any
+    combination — counts are merged by taking the max per event, since a
+    run with several sources active records each event in each of them.
+    Manager counters matter when the crashed incarnations' traces and
+    observers are gone: the manager outlives every restart.
     """
     out: dict[str, Counter] = {"fault": Counter(), "recovery": Counter()}
     if trace is not None:
@@ -42,13 +47,17 @@ def fault_report(trace: Optional[TraceLog] = None,
                 if key.startswith(prefix):
                     event = key[len(prefix):]
                     out[cat][event] = max(out[cat][event], int(value))
+    if resilience is not None:
+        for event, n in resilience.stats().items():
+            out["recovery"][event] = max(out["recovery"][event], int(n))
     return {cat: dict(cnt) for cat, cnt in out.items()}
 
 
 def format_fault_report(trace: Optional[TraceLog] = None,
-                        observer: Any = None) -> str:
+                        observer: Any = None,
+                        resilience: Any = None) -> str:
     """Human-readable fault/recovery summary (one line per event kind)."""
-    rep = fault_report(trace, observer=observer)
+    rep = fault_report(trace, observer=observer, resilience=resilience)
     lines = []
     for cat in ("fault", "recovery"):
         events = rep[cat]

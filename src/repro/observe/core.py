@@ -269,6 +269,10 @@ class Observer:
     def on_fault(self, event: str, where: Any, time: float) -> None:
         self.metrics.inc(f"fault/{event}")
         self.flight.note(time, "fault", event, where=where)
+        if event == "node_crash":
+            # dead silicon: dump the recent-event ring for the postmortem
+            # before the recovery layer tears this machine down
+            self.flight.dump("fault:node_crash", time, where=where)
 
     def on_recovery(self, event: str, where: Any, time: float) -> None:
         self.metrics.inc(f"recovery/{event}")

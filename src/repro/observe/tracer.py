@@ -91,6 +91,17 @@ class MessageTracer:
             return  # evicted, or minted before this tracer existed
         span.stages.append(Stage(stage, time, where, detail))
 
+    def fast_forward(self, next_id: int) -> None:
+        """Never mint IDs at or below ``next_id`` (checkpoint restore).
+
+        A restarted runtime gets a fresh tracer; fast-forwarding it past
+        the checkpointed counter keeps trace IDs globally unique across
+        the crash/restore boundary and — because the restore path is
+        deterministic — identical for identical (config, seed, schedule).
+        """
+        if next_id > self._next_id:
+            self._next_id = next_id
+
     # -- queries -----------------------------------------------------------
     def minted(self) -> int:
         return self._next_id

@@ -1,0 +1,38 @@
+"""End-to-end fault recovery: checkpoint/restart driven by the fault injector.
+
+This package closes the loop between two subsystems that existed side by
+side but had never been composed:
+
+* :mod:`repro.charm.checkpoint` — coordinated checkpoint/restart of chare
+  collections (FTC-Charm++ style, [Kale & Zheng 2009]);
+* :mod:`repro.faults` — the :class:`~repro.faults.FaultInjector` whose
+  :class:`~repro.faults.NodeCrash` events kill nodes for good.
+
+The :class:`ResilienceManager` runs a phase-structured application under a
+crash schedule: it takes periodic coordinated checkpoints by riding the
+:class:`~repro.converse.quiescence.QuiescenceDetector` wave at application
+phase boundaries, receives a crash upcall from the injector, drains the
+dying incarnation, restarts on the surviving PEs (or a configured spare
+pool) with a load-rebalanced placement, and resumes — with the engine
+clock, RNG registry, and trace-ID counter restored, so a run under a
+fixed (config, seed, crash schedule) is bit-identical every time.
+
+See DESIGN.md §13 for the protocol walk-through and
+:mod:`repro.resilience.apps` for the reference phased application the
+recovery benchmark and chaos tests drive.
+"""
+
+from repro.resilience.manager import (  # noqa: F401
+    RecoveryPolicy,
+    RecoveryReport,
+    ResilienceManager,
+)
+from repro.resilience.apps import PhasedSum, SumChare  # noqa: F401
+
+__all__ = [
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "ResilienceManager",
+    "PhasedSum",
+    "SumChare",
+]

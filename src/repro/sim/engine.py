@@ -158,6 +158,26 @@ class Engine:
         if len(pool) < _POOL_MAX:
             pool.append(handle)
 
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward to ``time`` without running anything.
+
+        The checkpoint/restart path uses this to restore a fresh engine's
+        clock to the checkpoint's simulated time (and then past it, to
+        account for modeled restart cost) so post-recovery timelines stay
+        monotone.  Jumping backward, or over a pending event (which would
+        then fire in the past), is a :class:`SimulationError`.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite clock target {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot rewind clock to t={time} (now={self._now})")
+        nxt = self.peek()
+        if time > nxt:
+            raise SimulationError(
+                f"advance_to(t={time}) would skip a pending event at t={nxt}")
+        self._now = time
+
     def call_at(self, time: float, fn: Callable, *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
         if time < self._now:

@@ -81,5 +81,34 @@ class RngRegistry:
         """Drop all streams; next access re-creates them from scratch."""
         self._streams.clear()
 
+    # -- checkpoint support --------------------------------------------------
+    def get_state(self) -> dict:
+        """Snapshot every materialized stream's bit-generator state.
+
+        Part of a coordinated checkpoint: restoring this map into a fresh
+        registry (same root seed) makes every stochastic consumer continue
+        its sequence exactly where the checkpoint left it, which is what
+        keeps a post-restart run bit-identical to an uninterrupted one.
+        """
+        return {
+            "root_seed": self.root_seed,
+            "streams": {name: gen.bit_generator.state
+                        for name, gen in sorted(self._streams.items())},
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore stream states captured by :meth:`get_state`.
+
+        Streams are re-created through :meth:`stream` (same name-derived
+        seeds) and then fast-forwarded to the captured bit-generator
+        state; streams the checkpoint never materialized stay lazy.
+        """
+        if int(state["root_seed"]) != self.root_seed:
+            raise ValueError(
+                f"RNG state captured under root seed {state['root_seed']} "
+                f"cannot restore into a registry seeded {self.root_seed}")
+        for name, bg_state in state["streams"].items():
+            self.stream(name).bit_generator.state = bg_state
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<RngRegistry seed={self.root_seed} streams={sorted(self._streams)}>"

@@ -29,6 +29,14 @@ class Accumulator(Chare):
             self.thisProxy[(self.thisIndex + 1) % 8].add(v - 1)
 
 
+class MergeableCounter(Chare):
+    def __init__(self):
+        self.count = 0
+
+    def merge_restored_state(self, state):
+        self.count += state["count"]
+
+
 class TestCheckpoint:
     def _run_phase(self, charm, arr, start_value):
         charm.start(lambda pe: arr[0].add(start_value))
@@ -102,15 +110,51 @@ class TestCheckpoint:
         ckpt = take_checkpoint(charm, skip=("drop",))
         assert [c.name for c in ckpt.collections] == ["keep"]
 
-    def test_group_restore_covers_new_pes(self):
+    def test_group_restore_same_size_is_exact(self):
         charm1, _ = fresh_charm(n_pes=8)
-        grp = charm1.create_group(Accumulator, name="grp")
+        charm1.create_group(Accumulator, name="grp")
         ckpt = take_checkpoint(charm1)
-        charm2, _ = fresh_charm(n_pes=4)
+        charm2, _ = fresh_charm(n_pes=8)
         proxies = restore_into(charm2, ckpt)
         coll = charm2.collections[proxies["grp"].aid]
+        assert coll.n_elements() == 8
+        assert all(len(coll.local[r]) == 1 for r in range(8))
+
+    def test_group_restore_shrink_refuses_by_default(self):
+        # A group checkpointed on 8 PEs cannot silently drop elements on a
+        # 4-PE restart (that lost state before); the default is an error.
+        charm1, _ = fresh_charm(n_pes=8)
+        charm1.create_group(Accumulator, name="grp")
+        ckpt = take_checkpoint(charm1)
+        charm2, _ = fresh_charm(n_pes=4)
+        with pytest.raises(CharmError, match="group_shrink"):
+            restore_into(charm2, ckpt)
+
+    def test_group_restore_shrink_merges_with_hook(self):
+        charm1, _ = fresh_charm(n_pes=8)
+        grp = charm1.create_group(MergeableCounter, name="grp")
+        coll1 = charm1.collections[grp.aid]
+        for rank in range(8):
+            coll1.local[rank][rank].count = rank + 1
+        ckpt = take_checkpoint(charm1)
+
+        charm2, _ = fresh_charm(n_pes=4)
+        proxies = restore_into(charm2, ckpt, group_shrink="merge")
+        coll = charm2.collections[proxies["grp"].aid]
         assert coll.n_elements() == 4
-        assert all(len(coll.local[r]) == 1 for r in range(4))
+        # survivor r absorbs checkpointed ranks r and r+4: no state lost
+        counts = {idx: coll.local[idx][idx].count for idx in range(4)}
+        assert counts == {0: 1 + 5, 1: 2 + 6, 2: 3 + 7, 3: 4 + 8}
+        total = sum(counts.values())
+        assert total == sum(range(1, 9))
+
+    def test_group_restore_shrink_merge_needs_hook(self):
+        charm1, _ = fresh_charm(n_pes=8)
+        charm1.create_group(Accumulator, name="grp")  # no merge hook
+        ckpt = take_checkpoint(charm1)
+        charm2, _ = fresh_charm(n_pes=4)
+        with pytest.raises(CharmError, match="merge_restored_state"):
+            restore_into(charm2, ckpt, group_shrink="merge")
 
     def test_group_restore_cannot_grow(self):
         charm1, _ = fresh_charm(n_pes=4)
@@ -128,6 +172,98 @@ class TestCheckpoint:
         assert ckpt.n_pes == 8
         assert ckpt.n_elements == 6
         assert ckpt.collections[0].state_bytes() > 0
+
+    def test_restore_preserves_sim_time(self):
+        # The restored engine used to restart at t=0, wrecking every
+        # post-restart timeline and time-to-recover measurement.
+        charm1, _ = fresh_charm()
+        arr1 = charm1.create_array(Accumulator, 8, name="acc")
+        self._run_phase(charm1, arr1, 10)
+        ckpt = take_checkpoint(charm1)
+        assert ckpt.sim_time > 0
+
+        charm2, _ = fresh_charm()
+        restore_into(charm2, ckpt)
+        assert charm2.engine.now == ckpt.sim_time
+
+        charm3, _ = fresh_charm()
+        restore_into(charm3, ckpt, restore_clock=False)
+        assert charm3.engine.now == 0.0
+
+    def test_restore_routes_placement_through_mapper(self):
+        # The old code defined a mapper closure and never called it; a
+        # custom mapper must now actually decide placement, and the
+        # location manager must agree with the per-PE element tables.
+        charm1, _ = fresh_charm(n_pes=8)
+        arr1 = charm1.create_array(Accumulator, 8, name="acc")
+        self._run_phase(charm1, arr1, 6)
+        ckpt = take_checkpoint(charm1)
+
+        def everything_on_pe1(cc, indices, n_pes):
+            return {i: 1 for i in indices}
+
+        charm2, _ = fresh_charm(n_pes=4)
+        proxies = restore_into(charm2, ckpt, map=everything_on_pe1)
+        coll = charm2.collections[proxies["acc"].aid]
+        assert all(coll.home_of(i) == 1 for i in range(8))
+        assert len(coll.local[1]) == 8
+        assert all(not coll.local[r] for r in (0, 2, 3))
+
+    def test_restore_rebalance_map_balances_by_measured_load(self):
+        from repro.charm.loadbalancer import restore_rebalance_map
+
+        charm1, _ = fresh_charm(n_pes=8)
+        arr1 = charm1.create_array(Accumulator, 8, name="acc")
+        coll1 = charm1.collections[arr1.aid]
+        # skew the measured loads: element 0 is as heavy as all the rest
+        for idx in range(8):
+            coll1.local[coll1.home_of(idx)][idx]._lb_load = \
+                7.0 if idx == 0 else 1.0
+        ckpt = take_checkpoint(charm1)
+
+        charm2, _ = fresh_charm(n_pes=2)
+        proxies = restore_into(charm2, ckpt, map=restore_rebalance_map)
+        coll = charm2.collections[proxies["acc"].aid]
+        loads = [sum(e._lb_load for e in coll.local[r].values())
+                 for r in range(2)]
+        assert loads == [7.0, 7.0]  # greedy: heavy one alone, rest together
+
+    def test_restore_rejects_invalid_mapper(self):
+        charm1, _ = fresh_charm(n_pes=4)
+        charm1.create_array(Accumulator, 4, name="acc")
+        ckpt = take_checkpoint(charm1)
+        charm2, _ = fresh_charm(n_pes=2)
+        with pytest.raises(CharmError, match="restore map"):
+            restore_into(charm2, ckpt, map=lambda cc, idxs, n: {i: 99 for i in idxs})
+
+    def test_checkpoint_at_quiescence_tolerates_armed_timers(self):
+        # The composition bug this PR exists for: with a fault schedule
+        # armed, the event heap is never empty, so drained-mode
+        # checkpointing was impossible for exactly the runs that need it.
+        from repro.faults import NodeCrash
+
+        conv, _ = make_runtime(n_pes=8, layer="ugni", config=tiny_config(),
+                               fault_schedule=[NodeCrash(at=1.0, node_id=1)])
+        charm = Charm(conv)
+        arr = charm.create_array(Accumulator, 8, name="acc")
+        with pytest.raises(CharmError):
+            take_checkpoint(charm)  # drained mode still refuses
+        ckpt = take_checkpoint(charm, at_quiescence=True)
+        assert ckpt.n_elements == 8
+
+    def test_checkpoint_captures_rng_and_restore_replays_it(self):
+        charm1, conv1 = fresh_charm()
+        charm1.create_array(Accumulator, 4, name="acc")
+        stream = conv1.machine.rng.stream("app")
+        before = [stream.random() for _ in range(3)]
+        ckpt = take_checkpoint(charm1)
+        tail1 = [stream.random() for _ in range(5)]
+
+        charm2, conv2 = fresh_charm()
+        restore_into(charm2, ckpt)
+        tail2 = [conv2.machine.rng.stream("app").random() for _ in range(5)]
+        assert tail2 == tail1  # continues exactly where the checkpoint left off
+        assert before  # (draws before the checkpoint are not replayed)
 
     def test_deep_copy_isolation(self):
         """Mutating live elements after a checkpoint must not change it."""
