@@ -112,6 +112,53 @@ def _noop() -> None:
     pass
 
 
+def _cancel_all(handles: list) -> None:
+    for h in handles:
+        h.cancel()
+
+
+def bench_engine_events_mixed(waves: int = 300, width: int = 256) -> dict[str, float]:
+    """Mixed engine kernel: batch-armed timer waves plus cancel churn.
+
+    Each wave batch-arms ``width`` homogeneous timers through
+    ``call_after_batch``, then arms ``width`` individually cancellable
+    timers and cancels two thirds of them — one third immediately (the
+    staged-tail / freshly-armed fast path) and one third from a later
+    event after they have been promoted into the heap (lazy cancellation,
+    which drives compaction).  This keeps the slab paths the plain
+    ``engine_events`` loop never touches — ``post_many``, handle cancel,
+    compaction — on the perf gate.
+    """
+    eng = Engine()
+    state = [0]
+
+    def batch_tick() -> None:
+        state[0] += 1
+
+    def wave() -> None:
+        eng.call_after_batch([1e-7 + i * 1e-9 for i in range(width)],
+                             batch_tick)
+        handles = [eng.call_after(2e-7 + i * 1e-9, _noop)
+                   for i in range(width)]
+        for i in range(0, width, 3):
+            handles[i].cancel()
+        eng.call_after(1.75e-7, _cancel_all,
+                       [handles[i] for i in range(1, width, 3)])
+        wave.count += 1
+        if wave.count < waves:
+            eng.call_after(3e-7, wave)
+
+    wave.count = 0
+    eng.call_after(1e-9, wave)
+    eng.run()
+    return {
+        "events_executed": float(eng.events_executed),
+        "final_now_s": eng.now,
+        "batch_fired": float(state[0]),
+        "waves": float(wave.count),
+    }
+
+
 def bench_sharded_kneighbor() -> dict[str, float]:
     """Fig-10 kNeighbor on the sharded engine, diffed against sequential.
 
@@ -221,6 +268,7 @@ BENCHMARKS = {
     "pingpong": bench_pingpong,
     "kneighbor": bench_kneighbor,
     "engine_events": bench_engine_events,
+    "engine_events_mixed": bench_engine_events_mixed,
     "sharded_kneighbor": bench_sharded_kneighbor,
     "crosslayer": bench_crosslayer,
     "recovery": bench_recovery,
@@ -232,6 +280,7 @@ BENCHMARK_LAYERS = {
     "pingpong": ("ugni",),
     "kneighbor": ("ugni",),
     "engine_events": (),
+    "engine_events_mixed": (),
     "sharded_kneighbor": ("ugni",),
     "crosslayer": ("ugni", "mpi", "rdma"),
     "recovery": ("ugni",),
@@ -337,7 +386,7 @@ def _aggregate(name: str, round_results: list[dict]) -> dict:
     if digests:
         entry["metrics_digest"] = digests.pop()
         entry["metrics"] = round_results[-1]["metrics"]
-    if name == "engine_events":
+    if name in ("engine_events", "engine_events_mixed"):
         entry["events_per_s"] = sim["events_executed"] / entry["wall_median_s"]
     return entry
 

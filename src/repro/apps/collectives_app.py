@@ -73,9 +73,8 @@ def _run(op: str, n_pes: int, layer: str, algorithm: str, base_bytes: int,
             coll.allgather(pe, "bench", nbytes, f"from-{pe.rank}", finish)
 
     hid = conv.register_handler(start)
-    for rank in range(n_pes):
-        conv.send_from_outside(rank, Message(handler=hid, src_pe=rank,
-                                             dst_pe=rank, nbytes=0))
+    conv.broadcast_from_outside(
+        lambda rank: Message(handler=hid, src_pe=rank, dst_pe=rank, nbytes=0))
     conv.run(max_events=50_000_000)
     if conv.machine.faults is None and len(results) != n_pes:
         raise CharmError(

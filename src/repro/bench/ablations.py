@@ -82,8 +82,9 @@ def ablation_msgq() -> ExperimentResult:
                                            payload=i))
 
         h_spray = conv.register_handler(spray)
-        for src in range(0, n_pes, 8):
-            conv.send_from_outside(src, Message(h_spray, src, src, 0))
+        conv.broadcast_from_outside(
+            lambda src: Message(h_spray, src, src, 0),
+            ranks=range(0, n_pes, 8))
         conv.run(max_events=10**7)
         s = layer.stats()
         stats[path] = {
@@ -161,8 +162,8 @@ def ablation_smp_pools() -> ExperimentResult:
                 conv.send(pe, dst, Message(h_sink, pe.rank, dst, 64 * KB))
 
         h_spray = conv.register_handler(spray)
-        for src in range(8):
-            conv.send_from_outside(src, Message(h_spray, src, src, 0))
+        conv.broadcast_from_outside(
+            lambda src: Message(h_spray, src, src, 0), ranks=range(8))
         conv.run(max_events=10**6)
         s = layer.stats()
         results[smp] = {

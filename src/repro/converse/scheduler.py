@@ -27,10 +27,15 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import CharmError, SimulationError
 from repro.hardware.machine import Machine
+
+
+def _bootstrap_enqueue(pe: "PE", msg: "Message") -> None:
+    """Batch-armed bootstrap trampoline (see ``broadcast_from_outside``)."""
+    pe.enqueue(msg)
 
 
 @dataclass
@@ -124,7 +129,7 @@ class PE:
         Machine layers use this to hand work to the hardware at the moment
         the executing handler logically reaches that point.
         """
-        self.engine.call_at(self.vtime, fn, *args)
+        self.engine.post_at(self.vtime, fn, *args)
 
     @property
     def now(self) -> float:
@@ -165,7 +170,7 @@ class PE:
         from outside any shard context and would otherwise land on shard
         0 regardless of the target PE.
         """
-        self.engine.call_at_node(self.node.node_id, time, self.enqueue,
+        self.engine.post_at_node(self.node.node_id, time, self.enqueue,
                                  msg, recv_cpu)
 
     # -- blocking calls (the MPI machine layer's MPI_Recv) -----------------------
@@ -215,7 +220,7 @@ class PE:
         engine = self.engine
         t = engine.now
         bu = self.busy_until
-        engine.call_at(bu if bu > t else t, self._run_next)
+        engine.post_at(bu if bu > t else t, self._run_next)
 
     def _pop(self) -> tuple[Message, float]:
         if self._prioq:
@@ -368,6 +373,28 @@ class ConverseRuntime:
     def send_from_outside(self, dst_rank: int, msg: Message, at: float = 0.0) -> None:
         """Inject a bootstrap message from outside any handler (mainchare)."""
         self.pes[dst_rank].deliver_at(at, msg)
+
+    def broadcast_from_outside(self, make_msg: Callable[[int], Message],
+                               at: float = 0.0,
+                               ranks: Optional[Iterable[int]] = None) -> None:
+        """Inject one bootstrap message per rank (``make_msg(rank)``) at ``at``.
+
+        The per-PE kick that starts every collective/spray benchmark.  On
+        the sequential engine the whole group is armed with one
+        :meth:`~repro.sim.engine.Engine.call_at_batch` — consecutive
+        ``seq`` stamps, identical firing order to the equivalent
+        :meth:`send_from_outside` loop, but a single validation pass and
+        no per-event Python dispatch.  A sharded engine routes each
+        delivery by node instead (batch staging has no node identity and
+        would land every bootstrap on shard 0).
+        """
+        ranks = range(len(self.pes)) if ranks is None else list(ranks)
+        if getattr(self.engine, "_shards", None) is not None:
+            for r in ranks:
+                self.pes[r].deliver_at(at, make_msg(r))
+            return
+        argss = [(self.pes[r], make_msg(r)) for r in ranks]
+        self.engine.call_at_batch([at] * len(argss), _bootstrap_enqueue, argss)
 
     # -- run ----------------------------------------------------------------
     def run(self, until: float = float("inf"), max_events: Optional[int] = None) -> float:

@@ -9,6 +9,11 @@ Two layers, one determinism contract (documented in DESIGN.md):
   sharded event engine that partitions hardware nodes across shards and
   advances them in lookahead-bounded synchronization windows, producing
   bit-identical results to the sequential :class:`repro.sim.engine.Engine`.
+* :mod:`repro.parallel.process_shards` — shard workers in separate OS
+  processes (replicated conservative execution): every worker runs the
+  windowed replica, pickles each window's cross-shard exchange batch
+  into a sha256 chain, and the parent asserts byte-identical parity at
+  any worker count.
 """
 
 from repro.parallel.sharded_engine import ShardedEngine
@@ -25,8 +30,20 @@ __all__ = [
     "JOBS_ENV",
     "ShardedEngine",
     "SweepPoint",
+    "WindowDigestEngine",
     "resolve_jobs",
+    "run_process_sharded",
     "run_sweep",
     "sweep_map",
     "spawn_seed",
 ]
+
+
+def __getattr__(name):
+    # Lazy: importing these at package-init time would shadow
+    # ``python -m repro.parallel.process_shards`` (runpy re-executes the
+    # submodule it finds already imported).
+    if name in ("WindowDigestEngine", "run_process_sharded"):
+        from repro.parallel import process_shards
+        return getattr(process_shards, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

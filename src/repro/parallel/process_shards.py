@@ -1,0 +1,280 @@
+"""Multi-process shard workers: replicated conservative execution.
+
+:class:`~repro.parallel.sharded_engine.ShardedEngine` advances shards in
+conservative lookahead windows inside one process.  This module runs
+those windows across **separate OS processes** — the configuration the
+paper's uGNI runtime actually faces, one scheduler per address space —
+while keeping the reproduction's determinism contract: the result is
+provably bit-identical at any worker count.
+
+Why *replicated* execution?  True state partitioning — each worker
+owning only its shard's nodes — is not possible for this machine model:
+link-lane horizons and SMSG mailbox credits are **shared** state mutated
+synchronously at send time by whichever shard is executing, so a worker
+that owned only its own nodes would need a cross-process round-trip on
+*every* send, collapsing the lookahead window to zero.  (That is the
+same wall the paper's runtime hits with shared SMSG mailboxes, and why
+its per-core FMA windows exist.)  Instead, every worker builds the same
+deterministic replica and runs the full windowed simulation:
+
+* the **simulation seed is derived once** with
+  :func:`repro.sim.rng.spawn_seed` from the job's root seed — the same
+  machinery (and the same derivation) the sweep runner uses — and every
+  worker receives that same seed;
+* each worker's engine is a :class:`WindowDigestEngine`: at every
+  window barrier it **pickles the window's cross-shard exchange batch**
+  — the ``(time, seq, target_shard, callback)`` descriptors that a
+  state-partitioned implementation would ship over the wire — and folds
+  the bytes into a running sha256 chain;
+* workers are dispatched and merged **in submission order** through
+  :func:`repro.parallel.sweep.run_sweep` (the same pool context,
+  fork-preferred with sequential fallback), and the parent asserts that
+  every worker returned the **same metrics checksum and the same
+  exchange-digest chain**.
+
+The digest chain is the load-bearing artifact: two processes agree on
+it only if they agreed on every window boundary, every cross-shard
+hand-off, and every ``(time, seq)`` stamp — i.e. on the entire exchange
+protocol, byte for byte.  Redundant execution buys verification, not
+speedup; the open item (ROADMAP) is partitioned link/credit state with
+per-window horizon leases, which this protocol's batches are shaped
+for.
+
+CLI — the 10k-PE demonstration::
+
+    python -m repro.parallel.process_shards --pes 10240 --workers 4
+
+runs kNeighbor on ``--pes`` single-core nodes under the process-sharded
+engine and prints the parity verdict plus both digests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import pickle
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.parallel.sharded_engine import ShardedEngine
+from repro.parallel.sweep import SweepPoint, run_sweep
+from repro.sim.engine import _PENDING
+from repro.sim.rng import spawn_seed
+
+__all__ = ["WindowDigestEngine", "run_process_sharded", "sim_checksum"]
+
+#: pickle protocol for exchange batches — pinned, because the digest
+#: chain hashes the pickled bytes and must not drift across Python
+#: versions that bump DEFAULT_PROTOCOL
+_BATCH_PICKLE_PROTOCOL = 4
+
+
+def sim_checksum(sim: dict[str, float]) -> str:
+    """sha256 over the full-precision reprs, order-independent.
+
+    Byte-compatible with ``benchmarks/run_all.py``'s ``checksum`` (a
+    unit test pins the two together), so parity verdicts printed here
+    can be compared directly against committed benchmark baselines.
+    """
+    blob = ";".join(f"{k}={v!r}" for k, v in sorted(sim.items()))
+    return "sha256:" + hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _callback_name(fn: Any) -> str:
+    """Stable descriptor for a callback crossing a shard boundary."""
+    qualname = getattr(fn, "__qualname__", None)
+    if qualname is None:  # functools.partial, bound C methods, ...
+        qualname = getattr(type(fn), "__qualname__", repr(fn))
+    return f"{getattr(fn, '__module__', '?')}.{qualname}"
+
+
+class WindowDigestEngine(ShardedEngine):
+    """A :class:`ShardedEngine` that digests every window's exchange batch.
+
+    At each window barrier the cross-shard hand-off — exactly what a
+    state-partitioned multi-process engine would transmit — is rendered
+    to ``(time, seq, target_shard, callback_name)`` descriptors, pickled,
+    and folded into a sha256 chain.  Two replicas produce the same chain
+    iff they made identical scheduling decisions in every window.
+    """
+
+    def __init__(self, n_shards: int = 2, lookahead: Optional[float] = None,
+                 min_lookahead: float = 1e-9) -> None:
+        super().__init__(n_shards=n_shards, lookahead=lookahead,
+                         min_lookahead=min_lookahead)
+        self._chain = hashlib.sha256()
+        self._window_batch: list[tuple] = []
+        #: windows whose (possibly empty) batch entered the chain
+        self.windows_digested = 0
+        #: total pickled bytes that a partitioned engine would have shipped
+        self.exchange_bytes = 0
+
+    def _flush_exchange(self) -> None:
+        # Render the hand-off before the base class consumes it.  Only
+        # live entries count: an event cancelled while buffered never
+        # reaches the target shard, so it must not enter the digest
+        # either (the wire protocol would elide it the same way).
+        state = self._s_state
+        fns = self._s_fn
+        batch = self._window_batch
+        for target, buf in enumerate(self._xbuf):
+            for entry in buf:
+                slot = entry[2]
+                if state[slot] == _PENDING:
+                    batch.append((entry[0], entry[1], target,
+                                  _callback_name(fns[slot])))
+        super()._flush_exchange()
+
+    def _barrier_hook(self) -> None:
+        # One chain link per barrier, empty batches included — the
+        # *number* and placement of windows is part of the protocol.
+        payload = pickle.dumps(self._window_batch,
+                               protocol=_BATCH_PICKLE_PROTOCOL)
+        self._chain.update(payload)
+        self.windows_digested += 1
+        self.exchange_bytes += len(payload)
+        self._window_batch = []
+
+    def exchange_digest(self) -> str:
+        """The sha256 chain over every window's pickled exchange batch."""
+        return "sha256:" + self._chain.hexdigest()
+
+    def shard_stats(self) -> dict[str, Any]:
+        stats = super().shard_stats()
+        stats["windows_digested"] = self.windows_digested
+        stats["exchange_bytes"] = self.exchange_bytes
+        stats["exchange_digest"] = self.exchange_digest()
+        return stats
+
+
+def _run_replica(app: Callable[..., dict], app_kwargs: dict,
+                 n_shards: int, lookahead: Optional[float],
+                 worker: int, seed: int) -> dict:
+    """One worker's full windowed replica (module-level: must pickle)."""
+    eng = WindowDigestEngine(n_shards=n_shards, lookahead=lookahead)
+    metrics = app(engine=eng, seed=seed, **app_kwargs)
+    if not isinstance(metrics, dict):
+        raise SimulationError(
+            f"process-shard app must return a metrics dict, got "
+            f"{type(metrics).__name__}")
+    return {
+        "worker": worker,
+        "metrics": metrics,
+        "checksum": sim_checksum(metrics),
+        "exchange_digest": eng.exchange_digest(),
+        "shard_stats": eng.shard_stats(),
+    }
+
+
+def run_process_sharded(
+    app: Callable[..., dict],
+    app_kwargs: Optional[dict] = None,
+    *,
+    workers: int = 2,
+    n_shards: int = 4,
+    lookahead: Optional[float] = None,
+    root_seed: int = 0,
+    label: str = "process-shards",
+    jobs: Optional[int] = None,
+) -> dict:
+    """Run ``app`` as replicated shard workers; assert bit-identical parity.
+
+    ``app`` is a module-level callable (worker processes import it by
+    reference) accepting ``engine=`` and ``seed=`` keywords and returning
+    a flat ``{metric: float}`` dict.  The simulation seed is derived once
+    — ``spawn_seed(root_seed, 0, label)`` — and shared by every worker;
+    worker identity never feeds the simulation, only the dispatch.
+
+    Returns worker 0's result annotated with the parity verdict.  Raises
+    :class:`SimulationError` if any worker's metrics checksum *or*
+    window-exchange digest chain differs — the determinism contract at
+    process scope.  ``n_shards`` is a property of the simulated machine,
+    deliberately independent of ``workers``: changing the worker count
+    must not change the replica.
+    """
+    if workers < 1:
+        raise SimulationError(f"need at least one worker, got {workers}")
+    sim_seed = spawn_seed(root_seed, 0, label)
+    points = [
+        SweepPoint(_run_replica,
+                   (app, dict(app_kwargs or {}), n_shards, lookahead, w),
+                   {"seed": sim_seed},
+                   label=f"{label}[{w}]")
+        for w in range(workers)
+    ]
+    results = run_sweep(points, jobs=workers if jobs is None else jobs)
+    checksums = sorted({r["checksum"] for r in results})
+    digests = sorted({r["exchange_digest"] for r in results})
+    if len(checksums) != 1 or len(digests) != 1:
+        raise SimulationError(
+            f"process-shard parity violated across {workers} workers: "
+            f"checksums={checksums} exchange_digests={digests}")
+    out = dict(results[0])
+    out.update({
+        "workers": workers,
+        "n_shards": n_shards,
+        "parity": True,
+        "seed": sim_seed,
+    })
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the 10k-PE kNeighbor demonstration (CLI)
+# --------------------------------------------------------------------- #
+def kneighbor_point(engine=None, seed: int = 0, pes: int = 64,
+                    size: int = 1024, k: int = 1, iters: int = 2,
+                    warmup: int = 0) -> dict[str, float]:
+    """kNeighbor on ``pes`` single-core nodes, as a process-shard app."""
+    from repro.apps.kneighbor import kneighbor
+    res = kneighbor(size, layer="ugni", k=k, n_cores=pes, iters=iters,
+                    warmup=warmup, seed=seed, engine=engine)
+    return {
+        "iteration_s": res.iteration_time,
+        "pes": float(pes),
+        "msg_size_B": float(size),
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    p.add_argument("--pes", type=int, default=10240,
+                   help="PE count (one per node; default: %(default)s)")
+    p.add_argument("--size", type=int, default=1024,
+                   help="message size in bytes (default: %(default)s)")
+    p.add_argument("--k", type=int, default=1,
+                   help="neighbor distance (default: %(default)s)")
+    p.add_argument("--iters", type=int, default=2,
+                   help="timed iterations (default: %(default)s)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="shard worker processes (default: %(default)s)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="shards inside each replica (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=0, help="root seed")
+    args = p.parse_args(argv)
+
+    result = run_process_sharded(
+        kneighbor_point,
+        {"pes": args.pes, "size": args.size, "k": args.k,
+         "iters": args.iters},
+        workers=args.workers,
+        n_shards=args.shards,
+        root_seed=args.seed,
+        label=f"kneighbor-{args.pes}pe",
+    )
+    stats = result["shard_stats"]
+    print(f"[process-shards] {args.pes} PEs x {args.workers} workers "
+          f"({args.shards} shards each): parity OK")
+    print(f"  checksum         {result['checksum']}")
+    print(f"  exchange digest  {result['exchange_digest']}")
+    print(f"  windows          {stats['windows']} "
+          f"(digested {stats['windows_digested']}, "
+          f"{stats['exchange_bytes']} exchange bytes)")
+    print(f"  exchanged events {stats['exchanged_events']} "
+          f"violations {stats['lookahead_violations']}")
+    print(f"  iteration time   {result['metrics']['iteration_s']:.6e} s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,14 @@ message deliveries, anything routed through
 :meth:`~repro.sim.engine.Engine.call_at_node` — are buffered in per-shard
 **exchange queues** and only handed over at the window barrier.
 
+Storage is the base engine's slab: shard queues are index heaps of
+``(time, seq, slot)`` entries over the shared parallel arrays, so a
+handle armed here cancels through exactly the same stale-safe slot-view
+path as on the sequential engine.  The compiled C core is *not* bound
+for sharded engines — the overridable ``_arm`` / ``_stage`` routing
+hooks are the whole point of the subclass — so this class always runs
+the pure-Python slab paths.
+
 Determinism contract (also documented in DESIGN.md):
 
 * Merged events execute in the total order ``(time, shard, seq)``.  The
@@ -16,15 +24,16 @@ Determinism contract (also documented in DESIGN.md):
   pair ``(time, seq)`` is already a total order — and it is exactly the
   sequential :class:`~repro.sim.engine.Engine`'s order.  The shard field
   therefore never has to break a tie today; it is recorded per event so
-  the exchange protocol keeps a total order even in a future
-  multi-process mode where stamps come from per-shard counters.
+  the exchange protocol keeps a total order even in the multi-process
+  mode (:mod:`repro.parallel.process_shards`), whose workers verify
+  their window digests against each other.
 * Cross-shard events must land at least one lookahead in the future.
   Every cross-node path in the hardware model crosses an injection port,
   at least one torus hop, and an ejection port, so
   ``2 * nic_latency + hop_latency`` is a safe lower bound.  A scheduling
   call that violates the bound is executed correctly anyway (the event is
   inserted directly, preserving the total order) but counted in
-  :attr:`lookahead_violations` — the future multi-process mode cannot
+  :attr:`lookahead_violations` — the multi-process mode cannot
   tolerate violations, so CI can assert the counter stays zero.
 * The engine **falls back to sequential execution** — one logical shard,
   no windows, still the exact same total order — whenever the
@@ -46,36 +55,23 @@ import math
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.engine import Engine, EventHandle
+from repro.sim.engine import _FREE, _PENDING, _POOL_MAX, Engine, EventHandle
 
 _INF = math.inf
 
 
 class _Shard:
-    """One shard: an event heap over a contiguous block of nodes."""
+    """One shard: an index heap over a contiguous block of nodes."""
 
     __slots__ = ("index", "heap")
 
     def __init__(self, index: int):
         self.index = index
-        #: entries are (time, seq, handle); seq is engine-global
-        self.heap: list[tuple[float, int, EventHandle]] = []
+        #: entries are (time, seq, slot); seq is engine-global
+        self.heap: list[tuple[float, int, int]] = []
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<_Shard {self.index} pending={len(self.heap)}>"
-
-
-class _TotalPending:
-    """len() proxy so the base class's compaction heuristic (which reads
-    ``len(engine._heap)``) sees the true number of pending entries."""
-
-    __slots__ = ("shards",)
-
-    def __init__(self, shards: list[_Shard]):
-        self.shards = shards
-
-    def __len__(self) -> int:
-        return sum(len(s.heap) for s in self.shards)
 
 
 class ShardedEngine(Engine):
@@ -105,9 +101,6 @@ class ShardedEngine(Engine):
             raise SimulationError(f"need at least one shard, got {n_shards}")
         self.n_shards = int(n_shards)
         self._shards = [_Shard(i) for i in range(self.n_shards)]
-        # the base class's _heap is unused for storage; replace it with a
-        # proxy so EventHandle.cancel's compaction ratio stays meaningful
-        self._heap = _TotalPending(self._shards)  # type: ignore[assignment]
         #: explicit lookahead override (seconds); None = derive from config
         self._lookahead_override = lookahead
         self.lookahead = lookahead if lookahead is not None else 0.0
@@ -120,11 +113,15 @@ class ShardedEngine(Engine):
         # window state
         self._in_window = False
         self._window_end = _INF
-        #: per-target-shard exchange buffers, flushed at window barriers
-        self._xbuf: list[list[EventHandle]] = [[] for _ in range(self.n_shards)]
+        #: per-target-shard exchange buffers of (time, seq, slot) entries,
+        #: flushed at window barriers
+        self._xbuf: list[list[tuple[float, int, int]]] = [
+            [] for _ in range(self.n_shards)
+        ]
         # mode + diagnostics
         self._sequential = self.n_shards == 1
-        self.fallback_reason: Optional[str] = None if not self._sequential else "single-shard"
+        self.fallback_reason: Optional[str] = (
+            None if not self._sequential else "single-shard")
         self.windows = 0
         self.barriers = 0
         self.exchanged_events = 0
@@ -191,27 +188,104 @@ class ShardedEngine(Engine):
         return False
 
     # ------------------------------------------------------------------ #
-    # scheduling (overrides)
+    # scheduling (overrides of the base slab hooks)
     # ------------------------------------------------------------------ #
-    def _push(self, time: float, fn: Callable, args: tuple) -> EventHandle:
-        """Arm one event on the currently-executing shard's queue."""
-        return self._push_shard(self._shards[self._current], time, fn, args)
+    def _alloc(self, time: float, fn: Callable, args: tuple) -> tuple:
+        """Fill one slab slot; returns its (time, seq, slot) entry.
 
-    def _push_shard(self, shard: _Shard, time: float, fn: Callable,
-                    args: tuple) -> EventHandle:
+        Inlined verbatim into :meth:`_stage`, :meth:`_route_node` and
+        :meth:`_arm_shard` — the arming hot paths run once per simulated
+        event, and the extra method dispatch was measurable on the
+        ``sharded_kneighbor`` perf gate.  Keep the four copies in sync.
+        """
         seq = self._seq
         self._seq = seq + 1
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._s_time[slot] = time
+            self._s_seq[slot] = seq
+            self._s_fn[slot] = fn
+            self._s_args[slot] = args
+            self._s_state[slot] = _PENDING
+        else:
+            slot = len(self._s_state)
+            self._s_time.append(time)
+            self._s_seq.append(seq)
+            self._s_fn.append(fn)
+            self._s_args.append(args)
+            self._s_handle.append(None)
+            self._s_state.append(_PENDING)
+        return (time, seq, slot)
+
+    def _stage(self, time: float, fn: Callable, args: tuple) -> int:
+        """Arm one handle-less event on the currently-executing shard."""
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._s_time[slot] = time
+            self._s_seq[slot] = seq
+            self._s_fn[slot] = fn
+            self._s_args[slot] = args
+            self._s_state[slot] = _PENDING
+        else:
+            slot = len(self._s_state)
+            self._s_time.append(time)
+            self._s_seq.append(seq)
+            self._s_fn.append(fn)
+            self._s_args.append(args)
+            self._s_handle.append(None)
+            self._s_state.append(_PENDING)
+        heapq.heappush(self._shards[self._current].heap, (time, seq, slot))
+        return slot
+
+    def _arm(self, time: float, fn: Callable, args: tuple) -> EventHandle:
+        """Arm one event on the currently-executing shard's queue."""
+        return self._arm_shard(self._shards[self._current], time, fn, args)
+
+    def _arm_shard(self, shard: _Shard, time: float, fn: Callable,
+                   args: tuple) -> EventHandle:
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._s_time[slot] = time
+            self._s_seq[slot] = seq
+            self._s_fn[slot] = fn
+            self._s_args[slot] = args
+            self._s_state[slot] = _PENDING
+        else:
+            slot = len(self._s_state)
+            self._s_time.append(time)
+            self._s_seq.append(seq)
+            self._s_fn.append(fn)
+            self._s_args.append(args)
+            self._s_handle.append(None)
+            self._s_state.append(_PENDING)
+        heapq.heappush(shard.heap, (time, seq, slot))
         pool = self._pool
         if pool:
             handle = pool.pop()
-            handle.time = time
+            handle.slot = slot
             handle.seq = seq
-            handle.fn = fn
-            handle.args = args
-            handle.cancelled = False
         else:
-            handle = EventHandle(self, time, seq, fn, args)
-        heapq.heappush(shard.heap, (time, seq, handle))
+            handle = EventHandle(self, slot, seq)
+        self._s_handle[slot] = handle
+        return handle
+
+    def _handle_for(self, entry: tuple) -> EventHandle:
+        slot = entry[2]
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.slot = slot
+            handle.seq = entry[1]
+        else:
+            handle = EventHandle(self, slot, entry[1])
+        self._s_handle[slot] = handle
         return handle
 
     def call_at_node(self, node_id: int, time: float, fn: Callable,
@@ -222,8 +296,18 @@ class ShardedEngine(Engine):
         buffer (flushed at the barrier); a schedule that lands inside the
         current window is a lookahead violation — executed correctly (the
         global ``(time, seq)`` order makes direct insertion safe) but
-        counted, because the future multi-process mode cannot allow it.
+        counted, because the multi-process mode cannot allow it.
         """
+        entry = self._route_node(node_id, time, fn, args)
+        return self._handle_for(entry)
+
+    def post_at_node(self, node_id: int, time: float, fn: Callable,
+                     *args: Any) -> None:
+        """:meth:`call_at_node` without building a handle."""
+        self._route_node(node_id, time, fn, args)
+
+    def _route_node(self, node_id: int, time: float, fn: Callable,
+                    args: tuple) -> tuple:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} (now={self._now}): time travel"
@@ -231,74 +315,109 @@ class ShardedEngine(Engine):
         if not math.isfinite(time):
             raise SimulationError(f"non-finite event time {time!r}")
         target = self.shard_of_node(node_id)
-        if (not self._in_window) or target == self._current:
-            return self._push_shard(self._shards[target], time, fn, args)
-        if time < self._window_end:
-            # lookahead violation: deliver directly, stay deterministic
-            self.lookahead_violations += 1
-            return self._push_shard(self._shards[target], time, fn, args)
-        # buffered hand-off: seq is stamped now (total order is by call
-        # time), the heap insertion waits for the barrier
+        # slab fill (see _alloc — inlined for the arming hot path)
         seq = self._seq
         self._seq = seq + 1
-        handle = EventHandle(self, time, seq, fn, args)
-        self._xbuf[target].append(handle)
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._s_time[slot] = time
+            self._s_seq[slot] = seq
+            self._s_fn[slot] = fn
+            self._s_args[slot] = args
+            self._s_state[slot] = _PENDING
+        else:
+            slot = len(self._s_state)
+            self._s_time.append(time)
+            self._s_seq.append(seq)
+            self._s_fn.append(fn)
+            self._s_args.append(args)
+            self._s_handle.append(None)
+            self._s_state.append(_PENDING)
+        entry = (time, seq, slot)
+        if ((not self._in_window) or target == self._current
+                or time < self._window_end):
+            if self._in_window and target != self._current:
+                # lookahead violation: deliver directly, stay
+                # deterministic (global (time, seq) order makes the
+                # direct insertion safe), but count it — the
+                # multi-process mode cannot allow it
+                self.lookahead_violations += 1
+            heapq.heappush(self._shards[target].heap, entry)
+            return entry
+        # buffered hand-off: seq is stamped now (total order is by call
+        # time), the heap insertion waits for the barrier
+        self._xbuf[target].append(entry)
         self.exchanged_events += 1
-        return handle
+        return entry
 
     def _flush_exchange(self) -> None:
         """Window barrier: move buffered cross-shard events to their heaps."""
+        state = self._s_state
         for target, buf in enumerate(self._xbuf):
             if not buf:
                 continue
             heap = self._shards[target].heap
-            for handle in buf:
-                if handle.cancelled:
+            for entry in buf:
+                slot = entry[2]
+                if state[slot] == _PENDING:
+                    heapq.heappush(heap, entry)
+                else:  # cancelled while buffered: reclaim, skip the heap
                     self._cancelled -= 1
-                    self._retire(handle)
-                    continue
-                heapq.heappush(heap, (handle.time, handle.seq, handle))
+                    self._free_slot(slot)
             buf.clear()
+
+    def _barrier_hook(self) -> None:
+        """Extension point: called at every window barrier, after the
+        exchange buffers have been flushed and before the fault probe.
+        The multi-process mode overrides this to digest and publish the
+        window's exchange batch."""
 
     # ------------------------------------------------------------------ #
     # heap hygiene (overrides)
     # ------------------------------------------------------------------ #
+    def _parked(self) -> int:
+        """Compaction denominator: every parked entry, in any queue."""
+        return (sum(len(s.heap) for s in self._shards)
+                + sum(len(b) for b in self._xbuf))
+
     def _compact(self) -> None:
+        state = self._s_state
         for shard in self._shards:
             heap = shard.heap
-            live = [e for e in heap if not e[2].cancelled]
+            live = [e for e in heap if state[e[2]] == _PENDING]
             if len(live) != len(heap):
                 for e in heap:
-                    if e[2].cancelled:
-                        self._retire(e[2])
+                    if state[e[2]] != _PENDING:
+                        self._free_slot(e[2])
                 heap[:] = live
                 heapq.heapify(heap)
         # exchange buffers: drop cancelled strays, keep live hand-offs
         for buf in self._xbuf:
-            if any(h.cancelled for h in buf):
-                for h in buf:
-                    if h.cancelled:
-                        self._retire(h)
-                buf[:] = [h for h in buf if not h.cancelled]
+            if any(state[e[2]] != _PENDING for e in buf):
+                for e in buf:
+                    if state[e[2]] != _PENDING:
+                        self._free_slot(e[2])
+                buf[:] = [e for e in buf if state[e[2]] == _PENDING]
         self._cancelled = 0
 
-    def _live_head(self, shard: _Shard) -> Optional[tuple[float, int, EventHandle]]:
+    def _live_head(self, shard: _Shard) -> Optional[tuple[float, int, int]]:
         """The shard's next live entry, reaping cancelled ones."""
         heap = shard.heap
+        state = self._s_state
         while heap:
             entry = heap[0]
-            if entry[2].cancelled:
-                heapq.heappop(heap)
-                self._cancelled -= 1
-                self._retire(entry[2])
-                continue
-            return entry
+            if state[entry[2]] == _PENDING:
+                return entry
+            heapq.heappop(heap)
+            self._cancelled -= 1
+            self._free_slot(entry[2])
         return None
 
     def _min_shard(self, bound: float = _INF) -> Optional[_Shard]:
         """The shard holding the globally minimal (time, seq) event < bound."""
         best: Optional[_Shard] = None
-        best_key: tuple[float, int] | None = None
+        best_key: Optional[tuple[float, int]] = None
         for shard in self._shards:
             entry = self._live_head(shard)
             if entry is None:
@@ -313,12 +432,14 @@ class ShardedEngine(Engine):
     # ------------------------------------------------------------------ #
     def _execute_from(self, shard: _Shard) -> None:
         """Pop and run the head event of ``shard``."""
-        _, _, handle = heapq.heappop(shard.heap)
+        entry = heapq.heappop(shard.heap)
+        slot = entry[2]
         self._current = shard.index
-        self._now = handle.time
-        self.events_executed += 1
-        fn, args = handle.fn, handle.args
-        self._retire(handle)
+        self._now = entry[0]
+        self._events_executed += 1
+        fn = self._s_fn[slot]
+        args = self._s_args[slot]
+        self._free_slot(slot)
         fn(*args)
 
     def step(self) -> bool:
@@ -365,13 +486,40 @@ class ShardedEngine(Engine):
                     self._in_window = True
                     self._window_end = window_end
                     self.windows += 1
-                # merged in-window execution in (time, seq) order
+                # merged in-window execution in (time, seq) order —
+                # _min_shard/_live_head/_execute_from fused into one
+                # inlined scan (this loop runs once per event; the
+                # method-call version measurably slowed the benchmark)
+                shards = self._shards
+                state = self._s_state
+                s_fn = self._s_fn
+                s_args = self._s_args
+                s_handle = self._s_handle
+                free = self._free
+                pool = self._pool
+                free_slot = self._free_slot
+                heappop = heapq.heappop
                 while not self._stopped:
-                    shard = self._min_shard(window_end)
-                    if shard is None:
+                    best = None
+                    bt = 0.0
+                    bs = 0
+                    for shard in shards:
+                        heap = shard.heap
+                        while heap:
+                            entry = heap[0]
+                            if state[entry[2]] == _PENDING:
+                                t = entry[0]
+                                if t < window_end and (
+                                        best is None or t < bt
+                                        or (t == bt and entry[1] < bs)):
+                                    best, bt, bs = shard, t, entry[1]
+                                break
+                            heappop(heap)
+                            self._cancelled -= 1
+                            free_slot(entry[2])
+                    if best is None:
                         break
-                    head_time = self._live_head(shard)[0]  # type: ignore[index]
-                    if head_time > until:
+                    if bt > until:
                         self._in_window = False
                         self._flush_exchange()
                         self._now = until
@@ -385,13 +533,30 @@ class ShardedEngine(Engine):
                             "(runaway simulation?)"
                         )
                     executed += 1
-                    self._execute_from(shard)
+                    slot = heappop(best.heap)[2]
+                    self._current = best.index
+                    self._now = bt
+                    self._events_executed += 1
+                    fn = s_fn[slot]
+                    args = s_args[slot]
+                    # _free_slot, inlined for the per-event hot loop
+                    state[slot] = _FREE
+                    s_fn[slot] = None
+                    s_args[slot] = None
+                    h = s_handle[slot]
+                    if h is not None:
+                        s_handle[slot] = None
+                        if len(pool) < _POOL_MAX:
+                            pool.append(h)
+                    free.append(slot)
+                    fn(*args)
                 # window barrier: hand buffered events to their shards
                 self._in_window = False
                 self._window_end = _INF
                 if not self._sequential:
                     self.barriers += 1
                     self._flush_exchange()
+                    self._barrier_hook()
                     self._probe_faults()
         finally:
             self._in_window = False
@@ -404,8 +569,8 @@ class ShardedEngine(Engine):
     # ------------------------------------------------------------------ #
     @property
     def pending(self) -> int:
-        return sum(len(s.heap) for s in self._shards) + sum(
-            len(b) for b in self._xbuf)
+        return (sum(len(s.heap) for s in self._shards)
+                + sum(len(b) for b in self._xbuf))
 
     def peek(self) -> float:
         shard = self._min_shard()
@@ -414,13 +579,25 @@ class ShardedEngine(Engine):
         return self._live_head(shard)[0]  # type: ignore[index]
 
     def drain(self):  # pragma: no cover - debug aid
+        state = self._s_state
         for shard in self._shards:
             while shard.heap:
-                yield heapq.heappop(shard.heap)[2]
+                entry = heapq.heappop(shard.heap)
+                yield self._drain_one(entry, state)
         for buf in self._xbuf:
             while buf:
-                yield buf.pop()
+                yield self._drain_one(buf.pop(), state)
         self._cancelled = 0
+
+    def _drain_one(self, entry: tuple, state) -> EventHandle:
+        slot = entry[2]
+        h = self._s_handle[slot]
+        if h is None:
+            h = EventHandle(self, slot, self._s_seq[slot])
+        self._s_handle[slot] = None  # keep the yielded view alive
+        if state[slot] != _FREE:
+            self._free_slot(slot)
+        return h
 
     def shard_stats(self) -> dict[str, Any]:
         """Window/exchange counters for reports and regression tests."""

@@ -1,0 +1,95 @@
+"""Build and load the C slab core (:mod:`repro.sim._speedups`).
+
+The extension is compiled on first import with the system C compiler —
+no pip, no network, no build isolation — and cached next to the source
+as ``_speedups.<cache_tag>.so``; it is rebuilt only when ``_speedups.c``
+is newer.  Any failure (no compiler, sandboxed filesystem, exotic
+platform) degrades silently to ``core = None`` and the engine runs its
+pure-Python slab path, which is contract-identical (the hypothesis
+parity suite drives both).
+
+Set ``REPRO_PURE_ENGINE=1`` to skip the C core entirely — CI uses this
+to keep the pure path honest, and it is the escape hatch if a platform
+miscompiles.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+import tempfile
+
+__all__ = ["core", "build_error"]
+
+#: the loaded extension module, or None when unavailable
+core = None
+#: why the core is unavailable (diagnostics; None when loaded or disabled)
+build_error: str | None = None
+
+
+def _so_path(src_dir: str) -> str:
+    tag = getattr(sys.implementation, "cache_tag", None) or "python"
+    return os.path.join(src_dir, f"_speedups.{tag}.so")
+
+
+def _compile(c_path: str, so_path: str) -> None:
+    cc = (os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+          or shutil.which("clang"))
+    if cc is None:
+        raise RuntimeError("no C compiler on PATH")
+    include = sysconfig.get_paths()["include"]
+    # Build into a temp file then atomically rename, so concurrent
+    # imports (pytest-xdist, process-shard workers) never load a
+    # half-written object.
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=os.path.dirname(so_path))
+    os.close(fd)
+    try:
+        subprocess.run(
+            [cc, "-O2", "-fPIC", "-shared", f"-I{include}", c_path,
+             "-o", tmp],
+            check=True, capture_output=True, text=True, timeout=120,
+        )
+        os.replace(tmp, so_path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _load():
+    global build_error
+    if os.environ.get("REPRO_PURE_ENGINE"):
+        return None
+    src_dir = os.path.dirname(os.path.abspath(__file__))
+    c_path = os.path.join(src_dir, "_speedups.c")
+    if not os.path.exists(c_path):
+        build_error = "_speedups.c missing"
+        return None
+    so_path = _so_path(src_dir)
+    try:
+        if (not os.path.exists(so_path)
+                or os.path.getmtime(so_path) < os.path.getmtime(c_path)):
+            _compile(c_path, so_path)
+        spec = importlib.util.spec_from_file_location(
+            "repro.sim._speedups", so_path)
+        if spec is None or spec.loader is None:
+            build_error = f"cannot load {so_path}"
+            return None
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+    except subprocess.CalledProcessError as exc:  # compiler diagnostics
+        build_error = (exc.stderr or str(exc)).strip()[-2000:]
+        return None
+    except Exception as exc:  # noqa: BLE001 - any failure means fallback
+        build_error = f"{type(exc).__name__}: {exc}"
+        return None
+
+
+core = _load()

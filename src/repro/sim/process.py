@@ -51,7 +51,7 @@ class Process:
         self.done_event: Event = engine.event()
         self.result: Any = None
         self.error: Optional[BaseException] = None
-        engine.call_soon(self._resume, None)
+        engine.post_soon(self._resume, None)
 
     @property
     def done(self) -> bool:
@@ -71,13 +71,13 @@ class Process:
 
     def _schedule(self, yielded: Any) -> None:
         if yielded is None:
-            self.engine.call_soon(self._resume, None)
+            self.engine.post_soon(self._resume, None)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {yielded}"
                 )
-            self.engine.call_after(float(yielded), self._resume, None)
+            self.engine.post_after(float(yielded), self._resume, None)
         elif isinstance(yielded, Event):
             yielded.add_callback(self._resume)
         elif isinstance(yielded, Process):
@@ -102,7 +102,7 @@ def all_of(engine: Engine, events: list[Event]) -> Event:
     remaining = len(events)
     values: list[Any] = [None] * len(events)
     if remaining == 0:
-        engine.call_soon(combined.succeed, values)
+        engine.post_soon(combined.succeed, values)
         return combined
 
     def make_cb(i: int):
