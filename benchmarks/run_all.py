@@ -31,9 +31,13 @@ byte-identical to ``--jobs 1`` — only the wall-clock shrinks.  Each
 worker warms a benchmark up once before timing it, mirroring the
 sequential warm-up round.
 
+Reports always land in the ``benchmarks/`` directory next to this
+script, regardless of the working directory — ``--out`` takes a file
+name, not a path.
+
 Usage::
 
-    python benchmarks/run_all.py --out BENCH_pr3.json
+    python benchmarks/run_all.py --label local
     python benchmarks/run_all.py --jobs 4 --check benchmarks/BENCH_baseline.json
 """
 
@@ -51,6 +55,7 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.apps.collectives_app import run_alltoallv
+from repro.apps.gpu_apps import gpu_kneighbor, gpu_pingpong
 from repro.apps.kneighbor import kneighbor
 from repro.apps.pingpong import charm_pingpong
 from repro.hardware.config import MachineConfig
@@ -60,6 +65,9 @@ from repro.units import KB, MB
 
 #: bump when the benchmark set or the JSON layout changes incompatibly
 SCHEMA = "repro-bench-v1"
+
+#: reports always land here, next to this script
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
 
 
 # --------------------------------------------------------------------- #
@@ -264,6 +272,72 @@ def bench_recovery() -> dict:
     }
 
 
+def bench_gpu_crossover() -> dict:
+    """Choi-style staged-vs-GPUDirect latency sweep across the crossover.
+
+    Runs the GPU ping-pong at sizes straddling ``gpu_staged_crossover``
+    on every transport and enforces the protocol-selection contract:
+    staged must win below the crossover, direct above, ``auto`` must
+    match the winner exactly, and the receive-side content digest must
+    be bit-identical across transports — the protocol choice may change
+    timing only.  Any violation raises, failing the benchmark run.
+    """
+    crossover = MachineConfig().gpu_staged_crossover
+    sizes = {"2KB": 2 * KB, "8KB": 8 * KB,
+             "128KB": 128 * KB, "512KB": 512 * KB}
+    out: dict = {}
+    for tag, size in sizes.items():
+        lat: dict[str, float] = {}
+        digests: dict[str, str] = {}
+        for transport in ("staged", "direct", "auto"):
+            r = gpu_pingpong(size, layer="ugni", transport=transport,
+                             iters=20)
+            lat[transport] = r.one_way_latency
+            digests[transport] = r.digest
+        if len(set(digests.values())) != 1:
+            raise RuntimeError(
+                f"gpu ping-pong results differ across transports at "
+                f"{tag}: {digests}")
+        winner = "staged" if lat["staged"] < lat["direct"] else "direct"
+        expected = "staged" if size < crossover else "direct"
+        if winner != expected:
+            raise RuntimeError(
+                f"gpu crossover inverted at {tag}: {expected} should win "
+                f"below/above {crossover}B but timings say {winner} "
+                f"({lat})")
+        if repr(lat["auto"]) != repr(lat[winner]):
+            raise RuntimeError(
+                f"auto transport did not match the winning protocol at "
+                f"{tag}: auto={lat['auto']!r} {winner}={lat[winner]!r}")
+        out[f"staged_{tag}_s"] = lat["staged"]
+        out[f"direct_{tag}_s"] = lat["direct"]
+        out[f"digest_{tag}"] = digests["auto"]
+    return out
+
+
+def bench_gpu_kneighbor() -> dict:
+    """GPU kNeighbor: device payloads with kernel/communication overlap.
+
+    The staged run's content digest must match the auto run's — same
+    transport-invariance contract as the crossover sweep, exercised on
+    a many-to-many pattern with the kernel-occupancy model engaged.
+    """
+    sm = gpu_kneighbor(2 * KB, layer="ugni", transport="auto", iters=30)
+    lg = gpu_kneighbor(256 * KB, layer="ugni", transport="auto", iters=30)
+    staged = gpu_kneighbor(256 * KB, layer="ugni", transport="staged",
+                           iters=30)
+    if staged.digest != lg.digest:
+        raise RuntimeError(
+            f"gpu kNeighbor results differ across transports: "
+            f"staged {staged.digest} vs auto {lg.digest}")
+    return {
+        "iteration_2KB_s": sm.iteration_time,
+        "iteration_256KB_s": lg.iteration_time,
+        "iteration_256KB_staged_s": staged.iteration_time,
+        "result_digest": lg.digest,
+    }
+
+
 BENCHMARKS = {
     "pingpong": bench_pingpong,
     "kneighbor": bench_kneighbor,
@@ -272,6 +346,8 @@ BENCHMARKS = {
     "sharded_kneighbor": bench_sharded_kneighbor,
     "crosslayer": bench_crosslayer,
     "recovery": bench_recovery,
+    "gpu_crossover": bench_gpu_crossover,
+    "gpu_kneighbor": bench_gpu_kneighbor,
 }
 
 #: machine layers each benchmark exercises — what ``--layers`` filters on
@@ -284,6 +360,8 @@ BENCHMARK_LAYERS = {
     "sharded_kneighbor": ("ugni",),
     "crosslayer": ("ugni", "mpi", "rdma"),
     "recovery": ("ugni",),
+    "gpu_crossover": ("gpu",),
+    "gpu_kneighbor": ("gpu",),
 }
 
 
@@ -497,9 +575,10 @@ def compare(report: dict, baseline: dict, tolerance: float,
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    p.add_argument("--out", default="BENCH_pr3.json",
-                   help="where to write the report (default: %(default)s)")
-    p.add_argument("--label", default="pr3", help="report label")
+    p.add_argument("--out", default=None, metavar="NAME",
+                   help="report file name (default: BENCH_<label>.json); "
+                        "always written into the benchmarks/ directory")
+    p.add_argument("--label", default="local", help="report label")
     p.add_argument("--rounds", type=int, default=5,
                    help="timed rounds per benchmark (default: %(default)s)")
     p.add_argument("--check", metavar="BASELINE",
@@ -551,12 +630,16 @@ def main(argv: list[str] | None = None) -> int:
                 "metrics_digest": entry["metrics_digest"],
                 "metrics": metrics,
             })
-    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"[bench] wrote {args.out}")
+    # artifacts land in benchmarks/ no matter where the harness was
+    # invoked from — a bare --out NAME must not scatter reports around
+    # the tree (a stray root BENCH_pr3.json is how this rule got here)
+    out_name = args.out if args.out else f"BENCH_{args.label}.json"
+    out_path = BENCH_DIR / pathlib.Path(out_name).name
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] wrote {out_path}")
     if observe_rows:
         from repro.observe import write_metrics_jsonl
-        obs_path = pathlib.Path(args.out).with_name(
-            f"OBSERVE_{args.label}.jsonl")
+        obs_path = out_path.with_name(f"OBSERVE_{args.label}.jsonl")
         with open(obs_path, "w") as fh:
             write_metrics_jsonl(observe_rows, fh)
         print(f"[bench] wrote {obs_path}")

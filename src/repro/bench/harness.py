@@ -2,16 +2,16 @@
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro._env import env_flag
 from repro.units import fmt_size, fmt_time
 
 
 def paper_scale() -> bool:
     """True when the full published sweeps were requested."""
-    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false")
+    return env_flag("REPRO_PAPER_SCALE")
 
 
 @dataclass

@@ -79,6 +79,49 @@ class Chare:
         """Move this element to another PE (measurement-based LB uses this)."""
         self.charm._migrate(self, new_pe, state_bytes)
 
+    # -- GPU conveniences ------------------------------------------------------
+    @property
+    def gpu(self):
+        """The accelerator serving this element's PE (affinity-mapped).
+
+        Raises :class:`~repro.errors.TopologyError` on a machine built
+        with ``gpus_per_node=0``.
+        """
+        return self.charm.conv.machine.gpu_of_pe(self.pe.rank)
+
+    def device_alloc(self, nbytes: int):
+        """Allocate a device buffer on this PE's GPU, charging the
+        driver's cudaMalloc-style cost to the PE."""
+        cfg = self.pe.node.config
+        self.pe.charge(cfg.gpu_malloc_cpu, "overhead")
+        return self.gpu.alloc(nbytes)
+
+    def device_free(self, buf) -> None:
+        """Free a device buffer on this PE's GPU (cudaFree cost)."""
+        cfg = self.pe.node.config
+        self.pe.charge(cfg.gpu_free_cpu, "overhead")
+        self.gpu.free(buf)
+
+    def launch_kernel(self, seconds: float,
+                      then: Optional[str] = None) -> float:
+        """Launch a kernel on this PE's GPU; returns its completion time.
+
+        The launch charges ``gpu_kernel_launch_cpu`` to the PE and
+        returns immediately — compute overlaps with whatever messages
+        the element keeps scheduling.  ``then`` names an entry method of
+        *this element* invoked locally when the kernel completes (the
+        completion-callback idiom of Choi et al.'s GPU manager).
+        """
+        cfg = self.pe.node.config
+        self.pe.charge(cfg.gpu_kernel_launch_cpu, "overhead")
+        done = self.gpu.launch_kernel(self.pe.vtime, seconds)
+        if then is not None:
+            method = then  # bind by name: survives element migration
+            self.charm.start(
+                lambda _pe, elem=self, m=method: getattr(elem, m)(),
+                pe=self.pe.rank, at=done)
+        return done
+
 
 class BoundMethod:
     """``proxy[i].method`` — calling it sends an async invocation."""
@@ -91,9 +134,10 @@ class BoundMethod:
         self.name = name
 
     def __call__(self, *args: Any, _size: Optional[int] = None,
-                 _prio: Optional[int] = None, **kwargs: Any) -> None:
+                 _prio: Optional[int] = None, _device: Any = False,
+                 **kwargs: Any) -> None:
         self.proxy.charm._invoke(self.proxy.aid, self.index, self.name,
-                                 args, kwargs, _size, _prio)
+                                 args, kwargs, _size, _prio, _device)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<BoundMethod {self.proxy}[{self.index}].{self.name}>"

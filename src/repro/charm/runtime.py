@@ -144,11 +144,13 @@ class Charm:
         return self._current_pe
 
     def _invoke(self, aid: int, idx: Any, method: str, args: tuple,
-                kwargs: dict, size: Optional[int], prio: Optional[int]) -> None:
+                kwargs: dict, size: Optional[int], prio: Optional[int],
+                device: Any = False) -> None:
         pe = self._require_pe()
         nbytes = estimate_size(args, kwargs) if size is None else size
         if idx is None:
-            self._broadcast(pe, aid, method, args, kwargs, nbytes, prio)
+            self._broadcast(pe, aid, method, args, kwargs, nbytes, prio,
+                            device)
             return
         coll = self.collections[aid]
         dst = coll.home_of(idx)
@@ -157,14 +159,17 @@ class Charm:
             self._qd.notify_send(pe.rank)
         self.conv.send(pe, dst, Message(
             self._h_entry, pe.rank, dst, nbytes,
-            payload=("inv", aid, idx, method, args, kwargs), prio=prio))
+            payload=("inv", aid, idx, method, args, kwargs), prio=prio,
+            device=device))
 
     def _broadcast(self, pe: PE, aid: int, method: str, args: tuple,
-                   kwargs: dict, nbytes: int, prio: Optional[int]) -> None:
+                   kwargs: dict, nbytes: int, prio: Optional[int],
+                   device: Any = False) -> None:
         """Spanning-tree broadcast rooted at the calling PE."""
         payload = ("bcast", aid, method, args, kwargs, pe.rank)
         self.conv.send(pe, pe.rank, Message(
-            self._h_entry, pe.rank, pe.rank, nbytes, payload=payload, prio=prio))
+            self._h_entry, pe.rank, pe.rank, nbytes, payload=payload,
+            prio=prio, device=device))
 
     def _entry_handler(self, pe: PE, msg: Message) -> None:
         kind = msg.payload[0]
@@ -177,7 +182,7 @@ class Charm:
             for child in tree.children(pe.rank):
                 self.conv.send(pe, child, Message(
                     self._h_entry, pe.rank, child, msg.nbytes,
-                    payload=msg.payload, prio=msg.prio))
+                    payload=msg.payload, prio=msg.prio, device=msg.device))
             coll = self.collections[aid]
             for elem in list(coll.local[pe.rank].values()):
                 self._run_method(pe, elem, method, args, kwargs)
@@ -208,7 +213,7 @@ class Charm:
             # stale delivery: forward to the current home
             self.conv.send(pe, home, Message(
                 self._h_entry, pe.rank, home, msg.nbytes,
-                payload=msg.payload, prio=msg.prio))
+                payload=msg.payload, prio=msg.prio, device=msg.device))
             return
         self.app_executes += 1
         if self._qd is not None:

@@ -59,6 +59,12 @@ class Message:
     #: causal trace ID minted by the observer at send; ``None`` when
     #: observability is off or the message bypassed ``ConverseRuntime.send``
     trace_id: Optional[int] = None
+    #: device-resident payload: ``False`` for host memory (the default),
+    #: ``True`` for a runtime-managed transient device buffer, or a
+    #: :class:`~repro.hardware.gpu.DeviceBuffer` the application owns.
+    #: Truthy values route the send through the machine layer's GPU
+    #: transport (staged-through-host or GPUDirect).
+    device: Any = False
 
 
 class PE:

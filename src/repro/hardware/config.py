@@ -245,6 +245,45 @@ class MachineConfig:
     rdma_pin_lookup_cpu: float = 0.08 * us
 
     # ------------------------------------------------------------------ #
+    # GPU (device memory, copy engines, kernel occupancy) — the Choi /
+    # Rengasamy accelerator extension of the message-driven model.  All
+    # GPU machinery is off (and absent) at the default gpus_per_node=0,
+    # so configurations that predate this section behave identically.
+    # ------------------------------------------------------------------ #
+    #: accelerators per node; 0 disables the whole GPU model
+    gpus_per_node: int = 0
+    #: device memory per GPU (Fermi-class X2090: 6 GB)
+    gpu_memory_bytes: int = 6 * 1024 * MB
+    #: driver cost of cudaMalloc / cudaFree charged to the launching PE
+    gpu_malloc_cpu: float = 2.00 * us
+    gpu_free_cpu: float = 1.00 * us
+    #: host↔device DMA engines: fixed start cost per copy, then the
+    #: direction's bandwidth; each direction is one serialized engine
+    gpu_copy_base: float = 1.00 * us
+    gpu_h2d_bandwidth: float = 5.2 * GBps
+    gpu_d2h_bandwidth: float = 4.8 * GBps
+    #: CPU to enqueue one async copy (cudaMemcpyAsync + stream bookkeep)
+    gpu_copy_post_cpu: float = 0.30 * us
+    #: outstanding-copy credits per engine (queue occupancy cap; the
+    #: sanitizer audits that every credit taken is retired)
+    gpu_copy_queue_depth: int = 16
+    #: concurrent-kernel slots (Fermi-style limited concurrency)
+    gpu_kernel_slots: int = 2
+    #: CPU to launch a kernel (driver + stream submit)
+    gpu_kernel_launch_cpu: float = 4.00 * us
+    #: GPUDirect-style NIC↔device path: expensive setup (peer mapping,
+    #: doorbell through the IOMMU) but zero host copies, capped below the
+    #: host link rate by the PCIe peer path
+    gpu_direct_base: float = 8.00 * us
+    gpu_direct_post_cpu: float = 0.35 * us
+    gpu_direct_bandwidth: float = 6.0 * GBps
+    #: staged-through-host vs GPUDirect crossover (payload bytes); below
+    #: this the two copy hops cost less than the direct path's setup
+    gpu_staged_crossover: int = 16 * KB
+    #: transport policy: "auto" (size crossover), "staged", or "direct"
+    gpu_transport: str = "auto"
+
+    # ------------------------------------------------------------------ #
     # Diagnostics
     # ------------------------------------------------------------------ #
     #: install the lifecycle sanitizer (:mod:`repro.sanitize`) on machines
@@ -310,6 +349,14 @@ class MachineConfig:
         if nbytes <= self.rdma_eager_max:
             return "eager"
         return "rendezvous"
+
+    def gpu_path_for(self, nbytes: int) -> str:
+        """Device-payload transport under ``gpu_transport="auto"``:
+        'staged' (d2h copy → host wire → h2d copy) below the crossover,
+        'direct' (GPUDirect zero-copy) at or above it.  Mirrors
+        :meth:`rdma_path_for` — the same size-crossover idiom one layer
+        up the memory hierarchy."""
+        return "staged" if nbytes < self.gpu_staged_crossover else "direct"
 
     def replace(self, **kw) -> "MachineConfig":
         """Convenience wrapper over :func:`dataclasses.replace`."""

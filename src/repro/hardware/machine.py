@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.errors import TopologyError
 from repro.hardware.config import MachineConfig
+from repro.hardware.gpu import Gpu
 from repro.hardware.nic import GeminiNIC
 from repro.hardware.node import Node
 from repro.hardware.router import DragonflyNetwork, TorusNetwork
@@ -105,6 +106,18 @@ class Machine:
         self._pe_node: list[Node] = [
             self.nodes[pe // cpn] for pe in range(n_nodes * cpn)
         ]
+        #: all accelerators, node-major; empty unless gpus_per_node > 0,
+        #: so pre-GPU configurations build byte-identical machines
+        self.gpus: list[Gpu] = []
+        if self.config.gpus_per_node > 0:
+            for node in self.nodes:
+                for g in range(self.config.gpus_per_node):
+                    gpu = Gpu(self.engine, self.config, node.node_id,
+                              len(self.gpus), sanitizer=self.sanitizer)
+                    node.gpus.append(gpu)
+                    self.gpus.append(gpu)
+            if self.observer is not None:
+                self.observer.register_gpu_source(self)
         # A shard-aware engine (repro.parallel.ShardedEngine) learns the
         # node partition and its conservative lookahead from the machine;
         # the sequential engine has no such hook and skips this.
@@ -149,6 +162,16 @@ class Machine:
     def same_node(self, pe_a: int, pe_b: int) -> bool:
         cpn = self.config.cores_per_node
         return pe_a // cpn == pe_b // cpn
+
+    def gpu_of_pe(self, pe: int) -> Gpu:
+        """The accelerator serving ``pe`` (cores round-robin over the
+        node's GPUs, the standard process-per-GPU affinity map)."""
+        node = self.node_of_pe(pe)
+        if not node.gpus:
+            raise TopologyError(
+                f"PE {pe} posted a device buffer but node {node.node_id} "
+                f"has no GPUs (gpus_per_node=0)")
+        return node.gpus[self.core_of_pe(pe) % len(node.gpus)]
 
     def hop_distance_pes(self, pe_a: int, pe_b: int) -> int:
         na, nb = self.node_of_pe(pe_a), self.node_of_pe(pe_b)

@@ -30,6 +30,9 @@ class Node:
         #: scratch registry for node-scoped facilities (pxshm segments,
         #: MSGQ instances) keyed by facility name
         self.facilities: dict[str, object] = {}
+        #: accelerators attached to this node; populated by Machine when
+        #: ``config.gpus_per_node > 0`` (empty list otherwise)
+        self.gpus: list = []
         #: cleared by the fault injector when this node crashes; the
         #: runtime halts the node's PEs and peers see their traffic to it
         #: fail with transaction errors

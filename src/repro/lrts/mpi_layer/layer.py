@@ -24,6 +24,7 @@ from typing import Any, Optional
 
 from repro.converse.scheduler import ConverseRuntime, Message, PE
 from repro.hardware.machine import Machine
+from repro.lrts.gpu_transport import GpuTransportMixin
 from repro.lrts.interface import LrtsLayer
 from repro.lrts.messages import LRTS_ENVELOPE
 from repro.mpish.matching import Arrival
@@ -33,7 +34,7 @@ from repro.mpish.world import MpiWorld
 CHARM_TAG = 77
 
 
-class MpiMachineLayer(LrtsLayer):
+class MpiMachineLayer(GpuTransportMixin, LrtsLayer):
     """LRTS over :class:`repro.mpish.MpiWorld`."""
 
     name = "mpi"
@@ -56,6 +57,9 @@ class MpiMachineLayer(LrtsLayer):
     # Send
     # ------------------------------------------------------------------ #
     def sync_send(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
+        if msg.device:
+            self._gpu_send(src_pe, dst_rank, msg)
+            return
         total = msg.nbytes + LRTS_ENVELOPE
         self.sent += 1
         obs = self._obs
@@ -127,4 +131,6 @@ class MpiMachineLayer(LrtsLayer):
             max_unexpected={r: e.max_unexpected
                             for r, e in self.world._match.items()},
         )
+        if self.cfg.gpus_per_node > 0:
+            s.update(self.gpu_stats())
         return s

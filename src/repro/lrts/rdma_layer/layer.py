@@ -23,6 +23,7 @@ from typing import Any, Optional
 from repro.converse.scheduler import Message, PE
 from repro.errors import LrtsError
 from repro.hardware.machine import Machine
+from repro.lrts.gpu_transport import GpuTransportMixin
 from repro.lrts.interface import LrtsLayer
 from repro.lrts.messages import CONTROL_BYTES, LRTS_ENVELOPE
 from repro.lrts.rdma_layer.collectives import PersistentWindowsMixin
@@ -52,7 +53,8 @@ class _Rndv:
         self.dst_handle = None
 
 
-class RdmaMachineLayer(PersistentWindowsMixin, IntranodeMixin, LrtsLayer):
+class RdmaMachineLayer(PersistentWindowsMixin, IntranodeMixin,
+                       GpuTransportMixin, LrtsLayer):
     """Charm++ machine layer on a Slingshot/InfiniBand-class fabric."""
 
     name = "rdma"
@@ -154,6 +156,9 @@ class RdmaMachineLayer(PersistentWindowsMixin, IntranodeMixin, LrtsLayer):
     def sync_send(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
         total = msg.nbytes + LRTS_ENVELOPE
         obs = self._obs
+        if msg.device:
+            self._gpu_send(src_pe, dst_rank, msg)
+            return
         if (self.machine.same_node(src_pe.rank, dst_rank)
                 and self.lcfg.intranode != "fabric"):
             self.intranode_sent += 1
@@ -378,5 +383,7 @@ class RdmaMachineLayer(PersistentWindowsMixin, IntranodeMixin, LrtsLayer):
             rndv_failed=self.rndv_failed,
             persistent_failed=self.persistent_failed,
         )
+        if self.cfg.gpus_per_node > 0:
+            s.update(self.gpu_stats())
         s.update(self.fabric.stats())
         return s

@@ -16,6 +16,7 @@ from typing import Any, Optional
 from repro.converse.scheduler import ConverseRuntime, Message, PE
 from repro.errors import LrtsError, UgniNoSpace, UgniTransactionError
 from repro.hardware.machine import Machine
+from repro.lrts.gpu_transport import GpuTransportMixin
 from repro.lrts.interface import LrtsLayer, PersistentHandle
 from repro.lrts.messages import (
     ACK_TAG,
@@ -65,7 +66,7 @@ _TAG_STEPS = {
 
 
 class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
-                       IntranodeMixin, LrtsLayer):
+                       IntranodeMixin, GpuTransportMixin, LrtsLayer):
     """Charm++ machine layer on uGNI (the paper's contribution)."""
 
     name = "ugni"
@@ -203,6 +204,9 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
     def sync_send(self, src_pe: PE, dst_rank: int, msg: Message) -> None:
         total = msg.nbytes + LRTS_ENVELOPE
         obs = self._obs
+        if msg.device:
+            self._gpu_send(src_pe, dst_rank, msg)
+            return
         if (self.machine.same_node(src_pe.rank, dst_rank)
                 and self.lcfg.intranode != "ugni"):
             self.intranode_sent += 1
@@ -438,4 +442,6 @@ class UgniMachineLayer(ReliabilityMixin, RendezvousMixin, PersistentMixin,
             rndv_failed=self.rndv_failed,
             persistent_failed=self.persistent_failed,
         )
+        if self.cfg.gpus_per_node > 0:
+            s.update(self.gpu_stats())
         return s

@@ -27,9 +27,9 @@ Projections-style per-PE timeline for free.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
+from repro._env import env_flag
 from repro.observe.flight import FlightRecorder
 from repro.observe.registry import MetricsRegistry
 from repro.observe.tracer import MessageTracer
@@ -40,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 def observe_requested() -> bool:
     """True when the ``REPRO_OBSERVE`` environment variable enables us."""
-    return os.environ.get("REPRO_OBSERVE", "") not in ("", "0")
+    return env_flag("REPRO_OBSERVE")
 
 
 # --------------------------------------------------------------------- #
@@ -127,6 +127,24 @@ class Observer:
         self.register_source("engine", lambda: self._engine_stats(machine))
         self.register_source("net", lambda: self._net_stats(machine))
         self.register_source("nic", lambda: self._nic_stats(machine))
+
+    def register_gpu_source(self, machine: "Machine") -> None:
+        """Fold accelerator stats into snapshots.
+
+        Called by the machine only after it has built ``machine.gpus``
+        (the observer itself is constructed first), and only when GPUs
+        exist — machines without accelerators keep their pre-GPU metric
+        digests byte-identical.
+        """
+        self.register_source("gpu", lambda: self._gpu_stats(machine))
+
+    @staticmethod
+    def _gpu_stats(machine: "Machine") -> dict[str, Any]:
+        totals: dict[str, Any] = {"gpus": len(machine.gpus)}
+        for gpu in machine.gpus:
+            for key, value in gpu.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     @staticmethod
     def _engine_stats(machine: "Machine") -> dict[str, Any]:
@@ -231,6 +249,20 @@ class Observer:
             self.tracer.stage(tid, "lrts", time, where=layer, detail=path)
         self.metrics.inc(f"lrts/{layer}/{path}")
         self.metrics.inc(f"lrts/{layer}/bytes", getattr(msg, "nbytes", 0))
+
+    def on_gpu(self, stage: str, msg: Any, nbytes: int, time: float,
+               where: Any = None) -> None:
+        """A device payload crossed one GPU transport stage.
+
+        ``stage`` is ``"d2h"`` / ``"h2d"`` (the staged path's two copy
+        hops), ``"direct"`` (the GPUDirect zero-copy wire), or ``"d2d"``
+        (an intra-node device copy).
+        """
+        tid = self.trace_id_of(msg)
+        if tid is not None:
+            self.tracer.stage(tid, "gpu", time, where=where, detail=stage)
+        self.metrics.inc(f"gpu/{stage}")
+        self.metrics.inc(f"gpu/bytes_{stage}", nbytes)
 
     def on_credit_stall(self, src: int, dst: int, nbytes: int,
                         time: float) -> None:

@@ -30,6 +30,7 @@ import os
 import sys
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from repro._env import env_int
 from repro.sim.rng import spawn_seed
 
 #: environment variable consulted when ``jobs`` is not passed explicitly
@@ -63,14 +64,7 @@ class SweepPoint:
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: explicit ``jobs`` > ``REPRO_BENCH_JOBS`` env > 1."""
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{JOBS_ENV}={raw!r} is not an integer") from None
+        jobs = env_int(JOBS_ENV, 1)
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return max(1, int(jobs))

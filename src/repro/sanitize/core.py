@@ -47,15 +47,26 @@ Violation classes (``Violation.kind``):
     it in use by an in-flight transaction;
 ``stuck-persistent``
     a persistent channel with queued sends or an unfinished teardown at
-    quiescence.
+    quiescence;
+``device-use-after-free``
+    a device buffer freed twice, or posted for communication after it
+    was freed;
+``foreign-device-free``
+    a device buffer returned to a GPU that does not own it (the classic
+    multi-GPU affinity bug);
+``copy-credit-leak``
+    a copy-engine queue credit taken by ``begin_copy`` and never retired
+    by ``finish_copy`` once the event heap drains;
+``device-leak``
+    a device buffer still live at an explicit teardown check.
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro._env import env_flag
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -68,7 +79,7 @@ class SanitizeViolation(ReproError):
 
 def sanitize_requested() -> bool:
     """True when the ``REPRO_SANITIZE`` environment variable enables us."""
-    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    return env_flag("REPRO_SANITIZE")
 
 
 @dataclass(frozen=True)
@@ -146,6 +157,33 @@ class _Msg:
         self.arrived = False
 
 
+class _Dev:
+    """Shadow of one device-memory buffer from alloc to free."""
+
+    __slots__ = ("buf", "gpu_id", "node_id", "nbytes", "created_at",
+                 "retired_at")
+
+    def __init__(self, buf: Any, now: float):
+        self.buf = buf
+        self.gpu_id = buf.gpu.gpu_id
+        self.node_id = buf.gpu.node_id
+        self.nbytes = buf.nbytes
+        self.created_at = now
+        self.retired_at: Optional[float] = None
+
+
+class _Copy:
+    """Shadow of one outstanding copy-engine queue credit."""
+
+    __slots__ = ("engine", "token", "nbytes", "posted_at")
+
+    def __init__(self, engine: Any, token: int, nbytes: int, now: float):
+        self.engine = engine
+        self.token = token
+        self.nbytes = nbytes
+        self.posted_at = now
+
+
 # --------------------------------------------------------------------- #
 # process-wide registry (for the pytest guard and run_all --sanitize)
 # --------------------------------------------------------------------- #
@@ -211,6 +249,12 @@ class Sanitizer:
         self._fabrics: list[Any] = []
         #: id(cq) -> CQ object, only while it holds entries
         self._cqs: dict[int, Any] = {}
+        #: id(buf) -> live device-buffer shadow
+        self._dev: dict[int, _Dev] = {}
+        #: id(buf) -> retired device-buffer shadow (use-after-free provenance)
+        self._freed_dev: dict[int, _Dev] = {}
+        #: (id(copy engine), token) -> outstanding copy-credit shadow
+        self._copies: dict[tuple[int, int], _Copy] = {}
         #: layer-supplied quiescence scans, run at every engine drain
         self._quiescence_checks: list[Callable[["Sanitizer"], None]] = []
         # lifetime counters (diagnostics / DESIGN.md examples)
@@ -224,6 +268,10 @@ class Sanitizer:
         self.msgs_resolved = 0
         self.cq_pushed = 0
         self.cq_popped = 0
+        self.dev_allocs = 0
+        self.dev_frees = 0
+        self.copies_posted = 0
+        self.copies_retired = 0
         _REGISTRY.append(self)
 
     # -- reporting ---------------------------------------------------------
@@ -408,6 +456,63 @@ class Sanitizer:
         if not len(cq):
             self._cqs.pop(id(cq), None)
 
+    # -- device buffers and copy-engine credits ----------------------------
+    @staticmethod
+    def _dev_name(shadow: "_Dev") -> str:
+        return (f"gpu{shadow.gpu_id}[node={shadow.node_id} "
+                f"{shadow.buf.block.addr:#x}+{shadow.nbytes}]")
+
+    def on_device_alloc(self, gpu: Any, buf: Any) -> None:
+        self.dev_allocs += 1
+        self._dev[id(buf)] = _Dev(buf, self._eng.now)
+        # device address space reused by the allocator: drop stale
+        # retired shadows this live buffer now legitimately covers
+        self._freed_dev.pop(id(buf), None)
+
+    def on_device_free(self, gpu: Any, buf: Any) -> None:
+        shadow = self._dev.pop(id(buf), None)
+        if shadow is None:
+            return  # allocated before this sanitizer existed; not ours
+        shadow.retired_at = self._eng.now
+        self._freed_dev[id(buf)] = shadow
+        self.dev_frees += 1
+
+    def on_device_double_free(self, gpu: Any, buf: Any) -> None:
+        shadow = self._freed_dev.get(id(buf))
+        freed = (f"first freed at t={shadow.retired_at:.9f}" if shadow
+                 else "already freed")
+        self.report("device-use-after-free", f"gpu{gpu.gpu_id}",
+                    f"device buffer {buf.block.addr:#x}+{buf.nbytes} {freed}")
+
+    def on_device_foreign_free(self, gpu: Any, buf: Any) -> None:
+        self.report(
+            "foreign-device-free", f"gpu{gpu.gpu_id}",
+            f"device buffer {buf.block.addr:#x}+{buf.nbytes} belongs to "
+            f"gpu{buf.gpu.gpu_id}@node{buf.gpu.node_id}, freed on "
+            f"gpu{gpu.gpu_id}@node{gpu.node_id}")
+
+    def on_device_use(self, buf: Any, what: str) -> None:
+        """Screen a device buffer named by a communication post."""
+        shadow = self._freed_dev.get(id(buf))
+        if shadow is not None:
+            self.report(
+                "device-use-after-free", what,
+                f"names device buffer {self._dev_name(shadow)} freed at "
+                f"t={shadow.retired_at:.9f}")
+        elif buf.freed and id(buf) not in self._dev:
+            self.report(
+                "device-use-after-free", what,
+                f"names a freed device buffer on gpu{buf.gpu.gpu_id}")
+
+    def on_copy_post(self, engine: Any, token: int, nbytes: int,
+                     now: float) -> None:
+        self.copies_posted += 1
+        self._copies[(id(engine), token)] = _Copy(engine, token, nbytes, now)
+
+    def on_copy_retire(self, engine: Any, token: int) -> None:
+        if self._copies.pop((id(engine), token), None) is not None:
+            self.copies_retired += 1
+
     # -- layer plug-in checks ----------------------------------------------
     def add_quiescence_check(self, fn: Callable[["Sanitizer"], None]) -> None:
         """Register a scan to run at every engine drain (machine layers)."""
@@ -446,6 +551,13 @@ class Sanitizer:
                 "undelivered-message",
                 f"post#{tx.desc_id}",
                 f"{tx.kind} posted at t={tx.started_at:.9f} never completed")
+        for copy in self._copies.values():
+            ce = copy.engine
+            self.report(
+                "copy-credit-leak",
+                f"gpu{ce.gpu_id}.{ce.direction}",
+                f"queue credit for a {copy.nbytes}-byte copy posted at "
+                f"t={copy.posted_at:.9f} never retired")
         for fn in self._quiescence_checks:
             fn(self)
 
@@ -480,6 +592,11 @@ class Sanitizer:
                 "pool-leak", shadow.pool_name,
                 f"pool block {shadow.addr:#x}+{shadow.end - shadow.addr} "
                 f"allocated at t={shadow.created_at:.9f} never freed")
+        for dev in self._dev.values():
+            self.report(
+                "device-leak", self._dev_name(dev),
+                f"device buffer allocated at t={dev.created_at:.9f} "
+                f"never freed")
 
     def check_teardown(self) -> list[Violation]:
         """Full end-of-run audit: quiescence conservation + leak checks."""
@@ -513,6 +630,10 @@ class Sanitizer:
             "msgs_resolved": self.msgs_resolved,
             "cq_pushed": self.cq_pushed,
             "cq_popped": self.cq_popped,
+            "dev_allocs": self.dev_allocs,
+            "dev_frees": self.dev_frees,
+            "copies_posted": self.copies_posted,
+            "copies_retired": self.copies_retired,
             "violations": len(self.violations),
         }
 

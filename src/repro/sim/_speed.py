@@ -23,6 +23,8 @@ import sys
 import sysconfig
 import tempfile
 
+from repro._env import env_flag
+
 __all__ = ["core", "build_error"]
 
 #: the loaded extension module, or None when unavailable
@@ -64,7 +66,7 @@ def _compile(c_path: str, so_path: str) -> None:
 
 def _load():
     global build_error
-    if os.environ.get("REPRO_PURE_ENGINE"):
+    if env_flag("REPRO_PURE_ENGINE"):
         return None
     src_dir = os.path.dirname(os.path.abspath(__file__))
     c_path = os.path.join(src_dir, "_speedups.c")

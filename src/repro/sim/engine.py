@@ -81,6 +81,16 @@ _BATCH_NUMPY_MIN = 64
 #: slab slot states
 _FREE, _PENDING, _CANCELLED = 0, 1, 2
 
+#: Engine methods shadowed by per-instance bindings to the compiled core.
+#: Single source of truth: __init__ binds exactly these names, and
+#: _core_eligible audits exactly these names, so a method can never be
+#: forwarded to the core without also being guarded against overrides.
+_CORE_FORWARDED = (
+    "call_at", "call_after", "call_soon", "call_at_node",
+    "post_at", "post_after", "post_soon", "post_at_node",
+    "step", "peek", "stop",
+)
+
 
 class EventHandle:
     """Handle for a scheduled callback; supports :meth:`cancel`.
@@ -198,19 +208,10 @@ class Engine:
         # ShardedEngine's overridable _arm/_stage hooks build on —
         # subclasses therefore never bind the core.
         core = None
-        if _CORE_CLS is not None and type(self) is Engine:
+        if _CORE_CLS is not None and _core_eligible(type(self)):
             core = _CORE_CLS(SimulationError)
-            self.call_at = core.call_at
-            self.call_after = core.call_after
-            self.call_soon = core.call_soon
-            self.call_at_node = core.call_at_node
-            self.post_at = core.post_at
-            self.post_after = core.post_after
-            self.post_soon = core.post_soon
-            self.post_at_node = core.post_at_node
-            self.step = core.step
-            self.peek = core.peek
-            self.stop = core.stop
+            for name in _CORE_FORWARDED:
+                setattr(self, name, getattr(core, name))
         self._core = core
         self._now = 0.0
         self._seq = 0
@@ -769,6 +770,29 @@ class Engine:
             self._s_handle[slot] = None  # keep the yielded view alive
             self._free_slot(slot)
             yield h
+
+
+#: the forwarded methods as defined by the class body above — captured at
+#: import so _core_eligible can detect later class-level replacement
+_CORE_PRISTINE = {name: Engine.__dict__[name] for name in _CORE_FORWARDED}
+
+
+def _core_eligible(cls: type) -> bool:
+    """May instances of ``cls`` bind the compiled core's hot-path methods?
+
+    Only an exact, unmodified :class:`Engine` qualifies.  A subclass that
+    overrides even one forwarded method (say, only ``post_soon``) must
+    never see the core's sibling fast paths — internal traffic would
+    bypass its override.  The same hazard exists when ``Engine`` itself
+    is patched at class level (a test wrapping ``Engine.post_soon`` to
+    count calls): the per-instance core binding would shadow the wrapper
+    silently, so any drift from the pristine class body disables binding
+    and the pure-Python specification runs instead.
+    """
+    if cls is not Engine:
+        return False
+    return all(cls.__dict__.get(name) is _CORE_PRISTINE[name]
+               for name in _CORE_FORWARDED)
 
 
 class Event:

@@ -1,0 +1,248 @@
+"""The GPU model: device memory, copy engines, kernel slots, transports.
+
+Covers the three hardware resources (allocator, per-direction DMA
+engines, bounded kernel slots), the staged-vs-GPUDirect protocol
+crossover end to end through the charm stack, and the contracts the
+benchmarks rely on: ``auto`` picks the winner, results are
+transport-invariant, and everything replays deterministically.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.gpu_apps import gpu_kneighbor, gpu_pingpong
+from repro.errors import HardwareError, MemoryError_, TopologyError
+from repro.hardware import Machine
+from repro.hardware.config import MachineConfig, tiny as tiny_config
+from repro.units import KB, MB
+
+SETTINGS = dict(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def gpu_machine(n_nodes=2, **over):
+    over.setdefault("gpus_per_node", 1)
+    cfg = tiny_config(cores_per_node=1).replace(**over)
+    return Machine(n_nodes=n_nodes, config=cfg, seed=0)
+
+
+# --------------------------------------------------------------------- #
+# device memory
+# --------------------------------------------------------------------- #
+class TestDeviceMemory:
+    def test_no_gpus_by_default(self):
+        m = Machine(n_nodes=2, config=tiny_config(cores_per_node=1), seed=0)
+        assert m.gpus == []
+        with pytest.raises(TopologyError):
+            m.gpu_of_pe(0)
+
+    def test_machine_builds_gpus(self):
+        m = gpu_machine(n_nodes=2, gpus_per_node=2)
+        assert len(m.gpus) == 4
+        assert [g.node_id for g in m.gpus] == [0, 0, 1, 1]
+        assert m.gpu_of_pe(0) in m.nodes[0].gpus
+
+    def test_alloc_free_roundtrip(self):
+        m = gpu_machine()
+        gpu = m.gpus[0]
+        buf = gpu.alloc(64 * KB)
+        assert not buf.freed
+        assert gpu.stats()["device_used"] >= 64 * KB
+        gpu.free(buf)
+        assert buf.freed
+        assert gpu.stats()["device_used"] == 0
+
+    def test_oom_raises(self):
+        m = gpu_machine(gpus_per_node=1, gpu_memory_bytes=64 * KB)
+        with pytest.raises(MemoryError_):
+            m.gpus[0].alloc(1 * MB)
+
+    @pytest.mark.sanitize_violations
+    def test_double_free_raises(self):
+        m = gpu_machine()
+        gpu = m.gpus[0]
+        buf = gpu.alloc(4 * KB)
+        gpu.free(buf)
+        with pytest.raises(MemoryError_):
+            gpu.free(buf)
+
+    @pytest.mark.sanitize_violations
+    def test_foreign_free_raises(self):
+        m = gpu_machine(n_nodes=2)
+        buf = m.gpus[0].alloc(4 * KB)
+        with pytest.raises(MemoryError_):
+            m.gpus[1].free(buf)
+
+
+# --------------------------------------------------------------------- #
+# copy engines
+# --------------------------------------------------------------------- #
+class TestCopyEngine:
+    def test_copy_serialization(self):
+        m = gpu_machine()
+        ce = m.gpus[0].h2d
+        done1, t1 = ce.begin_copy(0.0, 64 * KB)
+        done2, t2 = ce.begin_copy(0.0, 64 * KB)
+        # same-instant posts serialize: the second starts when the first ends
+        assert done2 == pytest.approx(2 * done1)
+        ce.finish_copy(t1)
+        ce.finish_copy(t2)
+
+    def test_copy_cost_model(self):
+        m = gpu_machine()
+        cfg = m.config
+        done, tok = m.gpus[0].h2d.begin_copy(0.0, 1 * MB)
+        assert done == pytest.approx(
+            cfg.gpu_copy_base + (1 * MB) / cfg.gpu_h2d_bandwidth)
+        m.gpus[0].h2d.finish_copy(tok)
+
+    def test_submit_retires_credit(self):
+        m = gpu_machine()
+        ce = m.gpus[0].d2h
+        fired = []
+        ce.submit(0.0, 8 * KB, on_done=lambda: fired.append(True))
+        assert ce.outstanding == 1
+        m.engine.run()
+        assert ce.outstanding == 0
+        assert fired == [True]
+
+    def test_queue_depth_counts_stalls(self):
+        m = gpu_machine(gpu_copy_queue_depth=2)
+        ce = m.gpus[0].h2d
+        tokens = [ce.begin_copy(0.0, 1 * KB)[1] for _ in range(4)]
+        assert ce.queue_stalls == 2
+        assert ce.outstanding_peak == 4
+        for t in tokens:
+            ce.finish_copy(t)
+
+    def test_nonpositive_copy_rejected(self):
+        m = gpu_machine()
+        with pytest.raises(HardwareError):
+            m.gpus[0].h2d.begin_copy(0.0, 0)
+
+
+# --------------------------------------------------------------------- #
+# kernel slots
+# --------------------------------------------------------------------- #
+class TestKernelSlots:
+    def test_slots_overlap_then_serialize(self):
+        m = gpu_machine(gpu_kernel_slots=2)
+        gpu = m.gpus[0]
+        d1 = gpu.launch_kernel(0.0, 10e-6)
+        d2 = gpu.launch_kernel(0.0, 10e-6)
+        d3 = gpu.launch_kernel(0.0, 10e-6)
+        # two slots run concurrently; the third waits for the earliest
+        assert d1 == d2 == pytest.approx(10e-6)
+        assert d3 == pytest.approx(20e-6)
+        assert gpu.stats()["kernels"] == 3
+
+    def test_completion_callback(self):
+        m = gpu_machine()
+        fired = []
+        done = m.gpus[0].launch_kernel(0.0, 5e-6, on_done=lambda: fired.append(m.engine.now))
+        m.engine.run()
+        assert fired == [done]
+
+    def test_negative_duration_rejected(self):
+        m = gpu_machine()
+        with pytest.raises(HardwareError):
+            m.gpus[0].launch_kernel(0.0, -1.0)
+
+
+# --------------------------------------------------------------------- #
+# protocol selection
+# --------------------------------------------------------------------- #
+class TestCrossover:
+    def test_gpu_path_for(self):
+        cfg = MachineConfig()
+        assert cfg.gpu_path_for(1 * KB) == "staged"
+        assert cfg.gpu_path_for(cfg.gpu_staged_crossover - 1) == "staged"
+        assert cfg.gpu_path_for(cfg.gpu_staged_crossover) == "direct"
+        assert cfg.gpu_path_for(1 * MB) == "direct"
+
+    @pytest.mark.parametrize("size,winner", [
+        (2 * KB, "staged"), (8 * KB, "staged"),
+        (128 * KB, "direct"), (512 * KB, "direct"),
+    ])
+    def test_staged_vs_direct_timing(self, size, winner):
+        lat = {tr: gpu_pingpong(size, transport=tr, iters=10,
+                                warmup=2).one_way_latency
+               for tr in ("staged", "direct", "auto")}
+        loser = "direct" if winner == "staged" else "staged"
+        assert lat[winner] < lat[loser]
+        assert repr(lat["auto"]) == repr(lat[winner])
+
+    @pytest.mark.parametrize("layer", ["ugni", "mpi", "rdma"])
+    def test_all_layers_carry_device_payloads(self, layer):
+        r = gpu_pingpong(8 * KB, layer=layer, transport="auto",
+                         iters=5, warmup=1)
+        assert r.one_way_latency > 0
+        assert r.stats["gpu_staged_sent"] > 0
+        assert r.stats["gpu_direct_sent"] == 0
+
+    def test_unknown_transport_raises(self):
+        from repro.errors import LrtsError
+        with pytest.raises(LrtsError):
+            gpu_pingpong(8 * KB, transport="warp", iters=2, warmup=0)
+
+    def test_intranode_goes_d2d(self):
+        # both PEs on one node: no NIC, the peer-DMA path carries it
+        from repro.charm import Chare, Charm
+        from repro.lrts.factory import make_runtime
+
+        cfg = tiny_config().replace(cores_per_node=2, gpus_per_node=1,
+                                    gpu_transport="auto")
+        conv, lrts = make_runtime(n_nodes=1, layer="ugni", config=cfg,
+                                  seed=0)
+        charm = Charm(conv)
+        got: list[int] = []
+
+        class _Peer(Chare):
+            def go(self) -> None:
+                self.buf = self.device_alloc(4 * KB)
+                self.thisProxy[1].hit(_size=4 * KB, _device=self.buf)
+
+            def hit(self) -> None:
+                got.append(self.my_pe)
+
+        arr = charm.create_array(_Peer, 2,
+                                 map=lambda indices, n_pes: {0: 0, 1: 1},
+                                 name="d2d")
+        charm.start(lambda pe: arr[0].go())
+        charm.run()
+        assert got == [1]
+        stats = lrts.gpu_stats()
+        assert stats["gpu_d2d_sent"] == 1
+        assert stats["gpu_staged_sent"] == 0
+        assert stats["gpu_direct_sent"] == 0
+        # internode sends never take the peer-DMA path
+        r2 = gpu_pingpong(8 * KB, iters=3, warmup=1)
+        assert r2.stats["gpu_d2d_sent"] == 0
+
+
+# --------------------------------------------------------------------- #
+# determinism and transport invariance
+# --------------------------------------------------------------------- #
+class TestDeterminism:
+    def test_identical_reruns(self):
+        a = gpu_pingpong(32 * KB, iters=10, warmup=2)
+        b = gpu_pingpong(32 * KB, iters=10, warmup=2)
+        assert repr(a.one_way_latency) == repr(b.one_way_latency)
+        assert a.digest == b.digest
+
+    def test_kneighbor_transport_invariant(self):
+        runs = {tr: gpu_kneighbor(64 * KB, transport=tr, iters=4, warmup=1)
+                for tr in ("staged", "direct")}
+        assert runs["staged"].digest == runs["direct"].digest
+        assert (runs["staged"].iteration_time
+                != runs["direct"].iteration_time)
+
+    @settings(**SETTINGS)
+    @given(st.integers(256, 64 * KB))
+    def test_staged_and_direct_agree_on_results(self, size):
+        """Property: for any size across the crossover, the protocol
+        choice changes timing only — application digests are identical."""
+        staged = gpu_pingpong(size, transport="staged", iters=4, warmup=1)
+        direct = gpu_pingpong(size, transport="direct", iters=4, warmup=1)
+        assert staged.digest == direct.digest

@@ -1,0 +1,138 @@
+"""Sanitizer coverage for the GPU model's violation kinds.
+
+One seeded violation per kind — ``device-use-after-free`` (double free
+and post-after-free provenance), ``foreign-device-free``,
+``copy-credit-leak``, ``device-leak`` — plus clean layered runs on every
+machine layer, and the observer-effect contract: turning the sanitizer
+or observer on must not change simulated results.
+"""
+
+import pytest
+
+from repro import sanitize
+from repro.apps.gpu_apps import gpu_kneighbor, gpu_pingpong
+from repro.charm import Chare, Charm
+from repro.errors import MemoryError_
+from repro.hardware import Machine
+from repro.hardware.config import MachineConfig, tiny as tiny_config
+from repro.lrts.factory import make_runtime
+from repro.units import KB
+
+
+def san_gpu_machine(n_nodes=2, **over):
+    over.setdefault("gpus_per_node", 1)
+    cfg = tiny_config(cores_per_node=1).replace(sanitize=True, **over)
+    return Machine(n_nodes=n_nodes, config=cfg, seed=0)
+
+
+def kinds(m):
+    return {v.kind for v in m.sanitizer.violations}
+
+
+class TestSeededDeviceViolations:
+    @pytest.mark.sanitize_violations
+    def test_device_double_free(self):
+        m = san_gpu_machine()
+        gpu = m.gpus[0]
+        buf = gpu.alloc(4 * KB)
+        gpu.free(buf)
+        with pytest.raises(MemoryError_):
+            gpu.free(buf)
+        assert "device-use-after-free" in kinds(m)
+
+    @pytest.mark.sanitize_violations
+    def test_foreign_device_free(self):
+        m = san_gpu_machine()
+        buf = m.gpus[0].alloc(4 * KB)
+        with pytest.raises(MemoryError_):
+            m.gpus[1].free(buf)
+        assert "foreign-device-free" in kinds(m)
+        # the buffer survived the bad free; its real owner still takes it
+        m.gpus[0].free(buf)
+        assert buf.freed
+
+    @pytest.mark.sanitize_violations
+    def test_post_after_free(self):
+        """A device payload posted after its buffer was freed."""
+        cfg = tiny_config(cores_per_node=1).replace(
+            sanitize=True, gpus_per_node=1)
+        conv, lrts = make_runtime(n_nodes=2, layer="ugni", config=cfg,
+                                  seed=0)
+        charm = Charm(conv)
+        got: list[int] = []
+
+        class _Bad(Chare):
+            def go(self) -> None:
+                buf = self.device_alloc(4 * KB)
+                self.device_free(buf)
+                # classic async-send bug: the buffer is named by the
+                # post after cudaFree already returned it
+                self.thisProxy[1].hit(_size=4 * KB, _device=buf)
+
+            def hit(self) -> None:
+                got.append(self.my_pe)
+
+        arr = charm.create_array(_Bad, 2, map="round_robin", name="uaf")
+        charm.start(lambda pe: arr[0].go())
+        charm.run()
+        assert got
+        assert "device-use-after-free" in kinds(conv.machine)
+
+    @pytest.mark.sanitize_violations
+    def test_copy_credit_leak(self):
+        m = san_gpu_machine()
+        ce = m.gpus[0].h2d
+        ce.begin_copy(0.0, 8 * KB)  # credit taken, never retired
+        m.engine.run()              # empty heap -> drain checks fire
+        assert "copy-credit-leak" in kinds(m)
+
+    @pytest.mark.sanitize_violations
+    def test_device_leak_at_teardown(self):
+        m = san_gpu_machine()
+        m.gpus[0].alloc(4 * KB)  # never freed
+        found = {v.kind for v in m.sanitizer.check_teardown()}
+        assert "device-leak" in found
+
+    def test_retired_copies_do_not_leak(self):
+        m = san_gpu_machine()
+        ce = m.gpus[0].d2h
+        ce.submit(0.0, 8 * KB)
+        m.engine.run()
+        assert "copy-credit-leak" not in kinds(m)
+
+
+class TestCleanLayeredRuns:
+    @pytest.mark.parametrize("layer", ["ugni", "mpi", "rdma"])
+    def test_gpu_pingpong_runs_clean(self, layer):
+        sanitize.clear_registry()
+        cfg = MachineConfig().replace(sanitize=True)
+        gpu_pingpong(8 * KB, layer=layer, config=cfg, iters=5, warmup=1)
+        gpu_pingpong(128 * KB, layer=layer, config=cfg, iters=5, warmup=1)
+        # full audit: every landing buffer freed, every credit retired
+        sanitize.assert_clean(f"gpu ping-pong on {layer}")
+        sanitize.clear_registry()
+
+    def test_gpu_kneighbor_runs_clean(self):
+        sanitize.clear_registry()
+        cfg = MachineConfig().replace(sanitize=True)
+        gpu_kneighbor(64 * KB, config=cfg, iters=3, warmup=1)
+        sanitize.assert_clean("gpu kNeighbor")
+        sanitize.clear_registry()
+
+
+class TestObserverEffect:
+    def test_sanitizer_does_not_change_results(self):
+        base = gpu_pingpong(32 * KB, iters=5, warmup=1)
+        cfg = MachineConfig().replace(sanitize=True)
+        sanitize.clear_registry()
+        san = gpu_pingpong(32 * KB, config=cfg, iters=5, warmup=1)
+        sanitize.clear_registry()
+        assert repr(base.one_way_latency) == repr(san.one_way_latency)
+        assert base.digest == san.digest
+
+    def test_observer_does_not_change_results(self):
+        base = gpu_kneighbor(64 * KB, iters=3, warmup=1)
+        cfg = MachineConfig().replace(observe=True)
+        obs = gpu_kneighbor(64 * KB, config=cfg, iters=3, warmup=1)
+        assert repr(base.iteration_time) == repr(obs.iteration_time)
+        assert base.digest == obs.digest
